@@ -1,0 +1,125 @@
+// Package freshsource_test holds the benchmark harness: one testing.B
+// benchmark per table and figure of the paper's evaluation (see the
+// per-experiment index in DESIGN.md). Each benchmark regenerates its
+// experiment on the scaled-down configuration and prints the resulting
+// rows once, so `go test -bench=. -benchmem` both times the pipeline and
+// reproduces the paper's outputs in miniature. Full-size regeneration is
+// `go run ./cmd/experiments -exp all`.
+package freshsource_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"freshsource/internal/experiments"
+)
+
+// benchCfg is the scaled-down configuration: small enough that every
+// experiment fits a default benchtime, large enough to keep the paper's
+// qualitative shapes.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick()
+	cfg.BL.Locations = 8
+	cfg.BL.Categories = 5
+	cfg.BL.NumSources = 12
+	cfg.BL.Horizon = 200
+	cfg.BL.T0 = 110
+	cfg.BL.Scale = 0.3
+	cfg.GDELT.Locations = 10
+	cfg.GDELT.EventTypes = 6
+	cfg.GDELT.NumSources = 40
+	cfg.GDELT.Scale = 0.4
+	cfg.ScalabilityMultipliers = []int{0, 1, 2, 5}
+	cfg.GraspConfigs = [][2]int{{1, 1}, {2, 10}}
+	return cfg
+}
+
+var (
+	envOnce  sync.Once
+	benchEnv *experiments.Env
+	printed  sync.Map
+)
+
+func env() *experiments.Env {
+	envOnce.Do(func() { benchEnv = experiments.NewEnv(benchCfg()) })
+	return benchEnv
+}
+
+// runExperiment benches one experiment id and prints its tables once.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e := env()
+	// Warm the dataset caches outside the timed region.
+	if _, err := e.BL(); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := e.GDELT(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var tables []*experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		tables, err = experiments.Run(id, e)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if _, dup := printed.LoadOrStore(id, true); !dup {
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}
+
+// Figure 1 — the motivating observations.
+
+func BenchmarkFig1aFreshnessVsFrequency(b *testing.B)   { runExperiment(b, "fig1a") }
+func BenchmarkFig1bCoverageTimelinesBL(b *testing.B)    { runExperiment(b, "fig1b") }
+func BenchmarkFig1cHalfFrequencyBL(b *testing.B)        { runExperiment(b, "fig1c") }
+func BenchmarkFig1dGdeltDelays(b *testing.B)            { runExperiment(b, "fig1d") }
+func BenchmarkFig1eCoverageTimelinesGdelt(b *testing.B) { runExperiment(b, "fig1e") }
+func BenchmarkFig1fHalfFrequencyGdelt(b *testing.B)     { runExperiment(b, "fig1f") }
+
+// Figures 4–8 — quality metrics and model fits.
+
+func BenchmarkFig4IntegrationOrder(b *testing.B) { runExperiment(b, "fig4") }
+func BenchmarkFig5aPoissonFitBL(b *testing.B)    { runExperiment(b, "fig5a") }
+func BenchmarkFig5bLifespanFitBL(b *testing.B)   { runExperiment(b, "fig5b") }
+func BenchmarkFig6PoissonFitGdelt(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFig7KaplanMeier(b *testing.B)      { runExperiment(b, "fig7") }
+func BenchmarkFig8SourceTypes(b *testing.B)      { runExperiment(b, "fig8") }
+
+// Figures 9–11 — prediction accuracy.
+
+func BenchmarkFig9WorldPredictionBL(b *testing.B)          { runExperiment(b, "fig9") }
+func BenchmarkFig10aWorldPredictionGdelt(b *testing.B)     { runExperiment(b, "fig10a") }
+func BenchmarkFig10bSourcePredictionGdelt(b *testing.B)    { runExperiment(b, "fig10b") }
+func BenchmarkFig11SourceQualityPredictionBL(b *testing.B) { runExperiment(b, "fig11") }
+
+// Figure 12 and Tables 1–5 — source selection with fixed frequencies.
+
+func BenchmarkFig12SelectedSourceTypes(b *testing.B) { runExperiment(b, "fig12") }
+func BenchmarkTable1SelectionQualityBL(b *testing.B) { runExperiment(b, "tab1-2") }
+func BenchmarkTable2RuntimesBL(b *testing.B)         { runExperiment(b, "tab1-2") }
+func BenchmarkTable3Gdelt(b *testing.B)              { runExperiment(b, "tab3") }
+func BenchmarkTable4SelectedBL(b *testing.B)         { runExperiment(b, "tab4") }
+func BenchmarkTable5SelectedGdelt(b *testing.B)      { runExperiment(b, "tab5") }
+
+// Tables 6–7 — varying update frequencies.
+
+func BenchmarkTable6VariableFrequencyBL(b *testing.B) { runExperiment(b, "tab6-7") }
+func BenchmarkTable7FrequencyDivisors(b *testing.B)   { runExperiment(b, "tab6-7") }
+
+// Figure 13 — scalability.
+
+func BenchmarkFig13aScalabilitySources(b *testing.B) { runExperiment(b, "fig13a") }
+func BenchmarkFig13bScalabilityDomain(b *testing.B)  { runExperiment(b, "fig13b") }
+
+// Beyond the paper — ablation of the implementation's design choices
+// (τ-dependent exponents, Eq. 8 schedule alignment, ODE world size).
+
+func BenchmarkAblationEstimatorVariants(b *testing.B) { runExperiment(b, "ablation") }
+func BenchmarkBacktestWalkForward(b *testing.B)       { runExperiment(b, "backtest") }

@@ -1,0 +1,109 @@
+// Slices: the micro-source variant of the paper (Definition 5, Figure 2) —
+// a user who only cares about a few locations can acquire *slices* of big
+// sources instead of whole feeds, cutting cost while keeping coverage.
+//
+// The example decomposes each full source into per-location micro-sources,
+// runs slice time-aware selection for a two-location query, and compares
+// the profit against whole-source selection for the same query.
+//
+// Run with: go run ./examples/slices
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"freshsource/internal/core"
+	"freshsource/internal/dataset"
+	"freshsource/internal/gain"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func main() {
+	cfg := dataset.DefaultBLConfig()
+	cfg.Locations = 10
+	cfg.Categories = 6
+	cfg.NumSources = 12
+	cfg.Horizon = 240
+	cfg.T0 = 130
+	cfg.Scale = 0.4
+	d, err := dataset.GenerateBL(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The user's query: two locations only.
+	queryLocs := map[int]bool{2: true, 5: true}
+	var query []world.DomainPoint
+	for _, p := range d.World.Points() {
+		if queryLocs[p.Location] {
+			query = append(query, p)
+		}
+	}
+	var future []timeline.Tick
+	for t := d.T0 + 10; t < d.Horizon(); t += 10 {
+		future = append(future, t)
+	}
+	fmt.Printf("query: %d domain points across locations 2 and 5; %d future ticks\n\n", len(query), len(future))
+
+	// Whole-source selection for the restricted query.
+	trWhole, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{Points: query, MaxT: future[len(future)-1]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	probWhole, err := core.NewProblem(trWhole, future, gain.Linear{Metric: gain.Coverage}, core.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	whole, err := probWhole.Solve(core.MaxSub, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("whole sources: profit %.4f, %d feeds, cost share %.4f\n",
+		whole.Profit, len(whole.Set), trWhole.Cost.SetCost(whole.Set)/trWhole.Cost.Total())
+
+	// Slice selection: one micro-source per (source, query location).
+	var micro []*source.Source
+	for _, s := range d.Sources {
+		for loc := range queryLocs {
+			var pts []world.DomainPoint
+			for _, p := range s.Spec().Points {
+				if p.Location == loc {
+					pts = append(pts, p)
+				}
+			}
+			if len(pts) == 0 {
+				continue
+			}
+			micro = append(micro, s.Restrict(d.World, pts, fmt.Sprintf("%s@L%d", s.Name(), loc)))
+		}
+	}
+	fmt.Printf("\ndecomposed into %d micro-sources (slices)\n", len(micro))
+
+	trSlice, err := core.Train(d.World, micro, d.T0, core.TrainOptions{Points: query, MaxT: future[len(future)-1]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	probSlice, err := core.NewProblem(trSlice, future, gain.Linear{Metric: gain.Coverage}, core.ProblemOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sliced, err := probSlice.Solve(core.MaxSub, core.SolveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("slice selection: profit %.4f, %d slices, cost share %.4f\n\n",
+		sliced.Profit, len(sliced.Set), trSlice.Cost.SetCost(sliced.Set)/trSlice.Cost.Total())
+
+	fmt.Println("acquired slices:")
+	for _, name := range sliced.Names {
+		fmt.Println("  -", name)
+	}
+	if sliced.Profit >= whole.Profit {
+		fmt.Println("\nslices matched or beat whole-source acquisition on profit, as in Figure 2's intuition")
+	} else {
+		fmt.Println("\nwhole sources won on this instance; slices still cut cost per unit coverage")
+	}
+}

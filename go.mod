@@ -1,0 +1,3 @@
+module freshsource
+
+go 1.22

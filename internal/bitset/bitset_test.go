@@ -1,0 +1,259 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Count() != 0 {
+		t.Fatalf("new set count = %d, want 0", s.Count())
+	}
+	if s.Any() {
+		t.Fatal("new set should not be Any")
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+}
+
+func TestAddRemoveContains(t *testing.T) {
+	s := New(130)
+	idx := []int{0, 1, 63, 64, 65, 127, 128, 129}
+	for _, i := range idx {
+		s.Add(i)
+	}
+	for _, i := range idx {
+		if !s.Contains(i) {
+			t.Errorf("Contains(%d) = false after Add", i)
+		}
+	}
+	if s.Count() != len(idx) {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(idx))
+	}
+	s.Remove(64)
+	if s.Contains(64) {
+		t.Error("Contains(64) = true after Remove")
+	}
+	if s.Count() != len(idx)-1 {
+		t.Fatalf("Count = %d, want %d", s.Count(), len(idx)-1)
+	}
+	// Double add is idempotent.
+	s.Add(0)
+	if s.Count() != len(idx)-1 {
+		t.Fatalf("double add changed count: %d", s.Count())
+	}
+	// Removing an absent element is a no-op.
+	s.Remove(2)
+	if s.Count() != len(idx)-1 {
+		t.Fatalf("removing absent element changed count: %d", s.Count())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	for _, fn := range []func(s *Set){
+		func(s *Set) { s.Add(-1) },
+		func(s *Set) { s.Add(10) },
+		func(s *Set) { s.Remove(10) },
+		func(s *Set) { s.Contains(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for out-of-range index")
+				}
+			}()
+			fn(New(10))
+		}()
+	}
+}
+
+func TestUniverseMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for universe mismatch")
+		}
+	}()
+	New(10).UnionWith(New(11))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	a := FromIndices(200, []int{1, 5, 70, 130, 199})
+	b := FromIndices(200, []int{5, 6, 130, 150})
+
+	u := Union(a, b)
+	want := FromIndices(200, []int{1, 5, 6, 70, 130, 150, 199})
+	if !u.Equal(want) {
+		t.Errorf("Union = %v, want %v", u, want)
+	}
+	if got := UnionCount(a, b); got != want.Count() {
+		t.Errorf("UnionCount = %d, want %d", got, want.Count())
+	}
+
+	i := Intersect(a, b)
+	wantI := FromIndices(200, []int{5, 130})
+	if !i.Equal(wantI) {
+		t.Errorf("Intersect = %v, want %v", i, wantI)
+	}
+	if got := IntersectCount(a, b); got != 2 {
+		t.Errorf("IntersectCount = %d, want 2", got)
+	}
+
+	d := Difference(a, b)
+	wantD := FromIndices(200, []int{1, 70, 199})
+	if !d.Equal(wantD) {
+		t.Errorf("Difference = %v, want %v", d, wantD)
+	}
+}
+
+func TestUnionAll(t *testing.T) {
+	a := FromIndices(64, []int{1})
+	b := FromIndices(64, []int{2})
+	c := FromIndices(64, []int{63})
+	u := UnionAll(a, b, c)
+	if !u.Equal(FromIndices(64, []int{1, 2, 63})) {
+		t.Errorf("UnionAll = %v", u)
+	}
+	// operands unchanged
+	if a.Count() != 1 || b.Count() != 1 || c.Count() != 1 {
+		t.Error("UnionAll mutated an operand")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	a := FromIndices(100, []int{3, 50})
+	b := FromIndices(100, []int{3, 50, 99})
+	if !a.IsSubsetOf(b) {
+		t.Error("a should be subset of b")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b should not be subset of a")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Error("a should be subset of itself")
+	}
+}
+
+func TestForEachAndIndices(t *testing.T) {
+	in := []int{0, 63, 64, 99}
+	s := FromIndices(100, in)
+	got := s.Indices()
+	if len(got) != len(in) {
+		t.Fatalf("Indices len = %d, want %d", len(got), len(in))
+	}
+	for k, v := range in {
+		if got[k] != v {
+			t.Errorf("Indices[%d] = %d, want %d", k, got[k], v)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromIndices(64, []int{1, 2})
+	b := a.Clone()
+	b.Add(3)
+	if a.Contains(3) {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestClear(t *testing.T) {
+	a := FromIndices(64, []int{1, 2, 3})
+	a.Clear()
+	if a.Any() {
+		t.Error("set not empty after Clear")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromIndices(64, []int{2, 5})
+	if got := s.String(); got != "{2, 5}" {
+		t.Errorf("String = %q", got)
+	}
+	if got := New(8).String(); got != "{}" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+// randSet builds a random subset of a fixed universe from quick-generated data.
+func randSet(r *rand.Rand, n int) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if r.Intn(2) == 0 {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestQuickUnionCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r, 257), randSet(r, 257)
+		return Union(a, b).Equal(Union(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnionAssociative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(r, 129), randSet(r, 129), randSet(r, 129)
+		return Union(Union(a, b), c).Equal(Union(a, Union(b, c)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDeMorgan(t *testing.T) {
+	// |a ∪ b| + |a ∩ b| == |a| + |b|
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r, 511), randSet(r, 511)
+		return UnionCount(a, b)+IntersectCount(a, b) == a.Count()+b.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDifferencePartition(t *testing.T) {
+	// a = (a\b) ⊎ (a∩b)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randSet(r, 300), randSet(r, 300)
+		d, i := Difference(a, b), Intersect(a, b)
+		if IntersectCount(d, i) != 0 {
+			return false
+		}
+		return Union(d, i).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountMatchesIndices(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r, 123)
+		return a.Count() == len(a.Indices())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUnionCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y := randSet(r, 1<<16), randSet(r, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		UnionCount(x, y)
+	}
+}

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/gain"
+	"freshsource/internal/metrics"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+)
+
+// fixture builds a small BL-like dataset and trains on it once per test
+// binary.
+var fixtureDS *dataset.Dataset
+
+func getDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if fixtureDS != nil {
+		return fixtureDS
+	}
+	cfg := dataset.DefaultBLConfig()
+	cfg.Locations = 8
+	cfg.Categories = 5
+	cfg.NumSources = 10
+	cfg.Horizon = 220
+	cfg.T0 = 120
+	cfg.Scale = 0.4
+	d, err := dataset.GenerateBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureDS = d
+	return d
+}
+
+func futureTicks(d *dataset.Dataset) []timeline.Tick {
+	var ts []timeline.Tick
+	for t := d.T0 + 10; t < d.Horizon(); t += 20 {
+		ts = append(ts, t)
+	}
+	return ts
+}
+
+func TestTrainBasic(t *testing.T) {
+	d := getDataset(t)
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCandidates() != len(d.Sources) {
+		t.Errorf("candidates = %d", tr.NumCandidates())
+	}
+	if tr.Constrained {
+		t.Error("basic training should be unconstrained")
+	}
+	if tr.T0() != d.T0 {
+		t.Error("T0 wrong")
+	}
+	if tr.CandidateDivisor(0) != 1 {
+		t.Error("base divisor should be 1")
+	}
+	if tr.CandidateName(0) == "" {
+		t.Error("empty candidate name")
+	}
+}
+
+func TestTrainWithFrequencyVariants(t *testing.T) {
+	d := getDataset(t)
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{FreqDivisors: []int{2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCandidates() != 3*len(d.Sources) {
+		t.Errorf("candidates = %d", tr.NumCandidates())
+	}
+	if !tr.Constrained {
+		t.Error("frequency training must be constrained")
+	}
+}
+
+func TestSolveAllAlgorithms(t *testing.T) {
+	d := getDataset(t)
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(tr, futureTicks(d), gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Greedy, MaxSub, GRASP} {
+		sel, err := prob.Solve(alg, SolveOptions{Kappa: 2, Rounds: 3, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(sel.Set) == 0 {
+			t.Errorf("%s selected nothing", alg)
+		}
+		if sel.Profit <= 0 {
+			t.Errorf("%s profit = %v", alg, sel.Profit)
+		}
+		if sel.Gain < sel.Profit {
+			t.Errorf("%s gain %v below profit %v", alg, sel.Gain, sel.Profit)
+		}
+		if sel.AvgCoverage <= 0 || sel.AvgCoverage > 1 {
+			t.Errorf("%s avg coverage = %v", alg, sel.AvgCoverage)
+		}
+		if len(sel.Names) != len(sel.Set) || len(sel.Divisors) != len(sel.Set) {
+			t.Errorf("%s names/divisors mismatch", alg)
+		}
+		if sel.OracleCalls <= 0 {
+			t.Errorf("%s oracle calls = %d", alg, sel.OracleCalls)
+		}
+	}
+}
+
+func TestSolveUnknownAlgorithm(t *testing.T) {
+	d := getDataset(t)
+	tr, _ := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	prob, _ := NewProblem(tr, futureTicks(d), gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if _, err := prob.Solve("simulated-annealing", SolveOptions{}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+}
+
+func TestMaxSubAtLeastGreedy(t *testing.T) {
+	// The paper's Table 1 claim: MaxSub ≥ Greedy (up to threshold slack)
+	// on profit.
+	d := getDataset(t)
+	tr, _ := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	for _, g := range []gain.Function{
+		gain.Linear{Metric: gain.Coverage},
+		gain.Step{Metric: gain.Coverage},
+		gain.Data{PerItem: 10, OmegaMax: float64(d.World.NumEntities())},
+	} {
+		prob, err := NewProblem(tr, futureTicks(d), g, ProblemOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, _ := prob.Solve(Greedy, SolveOptions{})
+		ms, _ := prob.Solve(MaxSub, SolveOptions{})
+		if ms.Profit < gr.Profit-0.02 {
+			t.Errorf("%s: MaxSub %v well below Greedy %v", g.Name(), ms.Profit, gr.Profit)
+		}
+	}
+}
+
+func TestVaryingFrequencySolve(t *testing.T) {
+	d := getDataset(t)
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{FreqDivisors: []int{2, 3, 4, 5, 6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(tr, futureTicks(d), gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Greedy, MaxSub, GRASP} {
+		sel, err := prob.Solve(alg, SolveOptions{Kappa: 2, Rounds: 2, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		// One version per source.
+		seen := map[int]bool{}
+		for _, i := range sel.Set {
+			src := tr.CandidateSource(i)
+			if seen[src] {
+				t.Fatalf("%s selected two versions of source %d", alg, src)
+			}
+			seen[src] = true
+		}
+	}
+}
+
+func TestVaryingFrequencyImprovesProfit(t *testing.T) {
+	// Table 6's phenomenon: with cheaper slow-frequency versions the
+	// algorithms select more sources and reach higher quality.
+	d := getDataset(t)
+	ticks := futureTicks(d)
+	g := gain.Linear{Metric: gain.Coverage}
+
+	trBase, _ := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	probBase, _ := NewProblem(trBase, ticks, g, ProblemOptions{})
+	base, _ := probBase.Solve(MaxSub, SolveOptions{})
+
+	trFreq, _ := Train(d.World, d.Sources, d.T0, TrainOptions{FreqDivisors: []int{2, 3, 4, 5, 6, 7}})
+	probFreq, _ := NewProblem(trFreq, ticks, g, ProblemOptions{})
+	freq, _ := probFreq.Solve(MaxSub, SolveOptions{})
+
+	if freq.Profit < base.Profit-1e-9 {
+		t.Errorf("frequency-augmented profit %v below base %v", freq.Profit, base.Profit)
+	}
+}
+
+func TestBudgetConstraint(t *testing.T) {
+	d := getDataset(t)
+	tr, _ := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	prob, err := NewProblem(tr, futureTicks(d), gain.Linear{Metric: gain.Coverage}, ProblemOptions{Budget: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Greedy, MaxSub, GRASP} {
+		sel, err := prob.Solve(alg, SolveOptions{Kappa: 2, Rounds: 2, Seed: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cost := tr.Cost.SetCost(sel.Set) / tr.Cost.Total(); cost > 0.2+1e-9 {
+			t.Errorf("%s violated budget: cost %v", alg, cost)
+		}
+	}
+}
+
+func TestSelectedSetQualityAgainstGroundTruth(t *testing.T) {
+	// End-to-end: estimated average coverage of the MaxSub selection stays
+	// close to the ground-truth coverage of those same sources.
+	d := getDataset(t)
+	tr, _ := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	ticks := futureTicks(d)
+	prob, _ := NewProblem(tr, ticks, gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	sel, err := prob.Solve(MaxSub, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var picked []*source.Source
+	for _, i := range sel.Set {
+		picked = append(picked, d.Sources[tr.CandidateSource(i)])
+	}
+	var truthSum float64
+	for _, tk := range ticks {
+		truthSum += metrics.QualityAt(d.World, picked, tk, nil).Coverage
+	}
+	truth := truthSum / float64(len(ticks))
+	if diff := truth - sel.AvgCoverage; diff > 0.08 || diff < -0.08 {
+		t.Errorf("estimated avg coverage %v vs truth %v", sel.AvgCoverage, truth)
+	}
+}

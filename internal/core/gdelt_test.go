@@ -1,0 +1,148 @@
+package core
+
+import (
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/gain"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// gdeltFixture builds a small accumulate-only corpus (no disappearances,
+// GDELT-style) once per test binary.
+var gdeltDS *dataset.Dataset
+
+func getGDELT(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	if gdeltDS != nil {
+		return gdeltDS
+	}
+	cfg := dataset.DefaultGDELTConfig()
+	cfg.Locations = 8
+	cfg.EventTypes = 5
+	cfg.NumSources = 30
+	cfg.Scale = 0.5
+	d, err := dataset.GenerateGDELT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdeltDS = d
+	return d
+}
+
+// TestAccumulateOnlyDomainSelection exercises the γd = 0 regime: events
+// never disappear, so E[|Ω|t] grows linearly and deletions never occur.
+func TestAccumulateOnlyDomainSelection(t *testing.T) {
+	d := getGDELT(t)
+	var ticks []timeline.Tick
+	for tk := d.T0 + 1; tk < d.Horizon(); tk++ {
+		ticks = append(ticks, tk)
+	}
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{MaxT: ticks[len(ticks)-1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(tr, ticks, gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Greedy, MaxSub, LazyGreedy} {
+		sel, err := prob.Solve(alg, SolveOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(sel.Set) == 0 {
+			t.Errorf("%s selected nothing", alg)
+		}
+		if sel.AvgCoverage <= 0 || sel.AvgCoverage > 1 {
+			t.Errorf("%s coverage = %v", alg, sel.AvgCoverage)
+		}
+	}
+}
+
+// TestRestrictedGDELTSelection mirrors Table 3/5: selection for the
+// dominant location only.
+func TestRestrictedGDELTSelection(t *testing.T) {
+	d := getGDELT(t)
+	var pts []world.DomainPoint
+	for _, p := range d.World.Points() {
+		if p.Location == 0 {
+			pts = append(pts, p)
+		}
+	}
+	var ticks []timeline.Tick
+	for tk := d.T0 + 1; tk < d.Horizon(); tk++ {
+		ticks = append(ticks, tk)
+	}
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{Points: pts, MaxT: ticks[len(ticks)-1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(tr, ticks, gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := prob.Solve(MaxSub, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selected sources must all cover the queried location.
+	for _, i := range sel.Set {
+		src := d.Sources[tr.CandidateSource(i)]
+		covers := false
+		for _, p := range src.Spec().Points {
+			if p.Location == 0 {
+				covers = true
+				break
+			}
+		}
+		if !covers {
+			t.Errorf("selected %s does not cover the queried location", src.Name())
+		}
+	}
+}
+
+// TestCombinedSlicesAndFrequencies exercises the paper's note that slice
+// selection "can be easily extended to identify optimal update frequencies
+// as well": micro-source candidates with frequency variants under the
+// one-version-per-slice matroid.
+func TestCombinedSlicesAndFrequencies(t *testing.T) {
+	d := getDataset(t) // the BL fixture from core_test.go
+	plus, err := d.AddMicroSources(2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	micro := plus.Sources[len(d.Sources):] // select among slices only
+	ticks := futureTicks(d)
+	tr, err := Train(d.World, micro, d.T0, TrainOptions{
+		MaxT:         ticks[len(ticks)-1],
+		FreqDivisors: []int{2, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumCandidates() != 3*len(micro) {
+		t.Fatalf("candidates = %d, want %d", tr.NumCandidates(), 3*len(micro))
+	}
+	prob, err := NewProblem(tr, ticks, gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := prob.Solve(MaxSub, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One frequency version per micro-source.
+	seen := map[int]bool{}
+	for _, i := range sel.Set {
+		s := tr.CandidateSource(i)
+		if seen[s] {
+			t.Fatalf("two versions of slice %d selected", s)
+		}
+		seen[s] = true
+	}
+	if len(sel.Set) == 0 {
+		t.Error("nothing selected")
+	}
+}

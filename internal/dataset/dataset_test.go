@@ -1,0 +1,300 @@
+package dataset
+
+import (
+	"testing"
+
+	"freshsource/internal/metrics"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// smallBL returns a scaled-down BL config that keeps tests fast.
+func smallBL() BLConfig {
+	cfg := DefaultBLConfig()
+	cfg.Locations = 10
+	cfg.Categories = 6
+	cfg.NumSources = 12
+	cfg.Horizon = 200
+	cfg.T0 = 100
+	cfg.Scale = 0.4
+	return cfg
+}
+
+func smallGDELT() GDELTConfig {
+	cfg := DefaultGDELTConfig()
+	cfg.Locations = 12
+	cfg.EventTypes = 8
+	cfg.NumSources = 40
+	cfg.Scale = 0.5
+	return cfg
+}
+
+func TestBLConfigValidation(t *testing.T) {
+	bad := smallBL()
+	bad.Locations = 0
+	if _, err := GenerateBL(bad); err == nil {
+		t.Error("want dimension error")
+	}
+	bad = smallBL()
+	bad.T0 = bad.Horizon
+	if _, err := GenerateBL(bad); err == nil {
+		t.Error("want window error")
+	}
+	bad = smallBL()
+	bad.Scale = 0
+	if _, err := GenerateBL(bad); err == nil {
+		t.Error("want scale error")
+	}
+}
+
+func TestGenerateBLShape(t *testing.T) {
+	cfg := smallBL()
+	d, err := GenerateBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sources) != cfg.NumSources {
+		t.Fatalf("sources = %d", len(d.Sources))
+	}
+	if len(d.World.Points()) != cfg.Locations*cfg.Categories {
+		t.Fatalf("points = %d", len(d.World.Points()))
+	}
+	if d.World.NumEntities() == 0 {
+		t.Fatal("empty world")
+	}
+	if d.Horizon() != cfg.Horizon || d.T0 != cfg.T0 {
+		t.Error("window wrong")
+	}
+	// Sources must have heterogeneous update intervals.
+	ivs := map[timeline.Tick]bool{}
+	for _, s := range d.Sources {
+		ivs[s.UpdateInterval()] = true
+	}
+	if len(ivs) < 3 {
+		t.Errorf("only %d distinct update intervals", len(ivs))
+	}
+}
+
+func TestGenerateBLDeterminism(t *testing.T) {
+	d1, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.World.NumEntities() != d2.World.NumEntities() {
+		t.Error("world not deterministic")
+	}
+	for i := range d1.Sources {
+		if d1.Sources[i].Log().Len() != d2.Sources[i].Log().Len() {
+			t.Fatalf("source %d not deterministic", i)
+		}
+	}
+}
+
+func TestBLFreshnessFrequencyDecoupled(t *testing.T) {
+	// The Figure 1a phenomenon: the correlation between update frequency
+	// and freshness must be weak — in particular, the generator must
+	// produce at least one high-frequency low-freshness source.
+	d, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := metrics.Ticks(d.T0-40, d.T0)
+	foundFreshSlow, foundStaleFast := false, false
+	for _, s := range d.Sources {
+		af := metrics.AverageFreshness(d.World, s, ticks)
+		fast := s.UpdateInterval() <= 2
+		if fast && af < 0.75 {
+			foundStaleFast = true
+		}
+		if !fast && af > 0.75 {
+			foundFreshSlow = true
+		}
+	}
+	if !foundStaleFast {
+		t.Error("no fast-but-stale source generated")
+	}
+	if !foundFreshSlow {
+		t.Error("no slow-but-fresh source generated")
+	}
+}
+
+func TestGDELTShape(t *testing.T) {
+	cfg := smallGDELT()
+	d, err := GenerateGDELT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Sources) != cfg.NumSources {
+		t.Fatalf("sources = %d", len(d.Sources))
+	}
+	// All sources update daily.
+	for _, s := range d.Sources {
+		if s.UpdateInterval() != 1 {
+			t.Fatalf("source %s interval %d", s.Name(), s.UpdateInterval())
+		}
+	}
+	// Events never disappear.
+	for _, e := range d.World.Entities() {
+		if e.Died >= 0 {
+			t.Fatal("GDELT events must not disappear")
+		}
+	}
+	// Sizes are heavy-tailed: the largest source dwarfs the median.
+	sizes := d.SizeAt(d.T0)
+	largest := d.LargestSources(1)[0]
+	nonEmpty := 0
+	for _, sz := range sizes {
+		if sz > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty < cfg.NumSources/2 {
+		t.Errorf("too many empty sources: %d non-empty", nonEmpty)
+	}
+	med := sizes[len(sizes)/2]
+	if sizes[largest] < 5*med {
+		t.Errorf("size distribution not heavy-tailed: max %d, median-ish %d", sizes[largest], med)
+	}
+}
+
+func TestGDELTDelaysPresent(t *testing.T) {
+	// Figure 1d: despite daily updates, a significant fraction of events
+	// is reported late.
+	d, err := GenerateGDELT(smallGDELT())
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyDelayed := false
+	for _, i := range d.LargestSources(10) {
+		st := metrics.InsertionDelayStats(d.World, d.Sources[i])
+		if st.FractionDelayed > 0.05 {
+			anyDelayed = true
+		}
+		if st.AvgDelay < 0 {
+			t.Fatal("negative delay")
+		}
+	}
+	if !anyDelayed {
+		t.Error("no delayed reporting in the largest sources")
+	}
+}
+
+func TestGDELTValidation(t *testing.T) {
+	bad := smallGDELT()
+	bad.NumSources = 0
+	if _, err := GenerateGDELT(bad); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestLargestSources(t *testing.T) {
+	d, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := d.LargestSources(5)
+	if len(top) != 5 {
+		t.Fatalf("top = %v", top)
+	}
+	sizes := d.SizeAt(d.T0)
+	for i := 1; i < len(top); i++ {
+		if sizes[top[i]] > sizes[top[i-1]] {
+			t.Fatal("LargestSources not descending")
+		}
+	}
+	if len(d.LargestSources(1000)) != len(d.Sources) {
+		t.Error("k beyond len should clamp")
+	}
+}
+
+func TestSourceByName(t *testing.T) {
+	d, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.SourceByName("bl-00"); !ok {
+		t.Error("bl-00 not found")
+	}
+	if _, ok := d.SourceByName("nope"); ok {
+		t.Error("found non-existent source")
+	}
+}
+
+func TestAddMicroSources(t *testing.T) {
+	d, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := d.AddMicroSources(3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plus.Sources) != len(d.Sources)*4 {
+		t.Fatalf("sources = %d, want %d", len(plus.Sources), len(d.Sources)*4)
+	}
+	// Micro-sources cover a strict subset of their original's locations.
+	for k, ms := range plus.Sources[len(d.Sources):] {
+		orig := d.Sources[k/3]
+		origLocs := map[int]bool{}
+		for _, p := range orig.Spec().Points {
+			origLocs[p.Location] = true
+		}
+		microLocs := map[int]bool{}
+		for _, p := range ms.Spec().Points {
+			if !origLocs[p.Location] {
+				t.Fatalf("micro-source %s covers location outside original", ms.Name())
+			}
+			microLocs[p.Location] = true
+		}
+		if len(microLocs) == 0 || len(microLocs) > len(origLocs)/2+1 {
+			t.Fatalf("micro-source %s covers %d of %d locations", ms.Name(), len(microLocs), len(origLocs))
+		}
+	}
+	// Zero multiplier is the identity set.
+	same, err := d.AddMicroSources(0, 99)
+	if err != nil || len(same.Sources) != len(d.Sources) {
+		t.Error("m=0 should keep the originals only")
+	}
+	if _, err := d.AddMicroSources(-1, 99); err == nil {
+		t.Error("want error for negative multiplier")
+	}
+}
+
+func TestMicroSourceEventsAreSubset(t *testing.T) {
+	d, err := GenerateBL(smallBL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := d.AddMicroSources(1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := d.Sources[0]
+	micro := plus.Sources[len(d.Sources)]
+	if micro.Log().Len() >= orig.Log().Len() {
+		t.Errorf("micro log %d not smaller than original %d", micro.Log().Len(), orig.Log().Len())
+	}
+	// Every micro event must exist in the original log.
+	type key struct {
+		e timeline.EntityID
+		k timeline.EventKind
+		a timeline.Tick
+		v int
+	}
+	origEvents := map[key]bool{}
+	for _, ev := range orig.Log().Events() {
+		origEvents[key{ev.Entity, ev.Kind, ev.At, ev.Version}] = true
+	}
+	for _, ev := range micro.Log().Events() {
+		if !origEvents[key{ev.Entity, ev.Kind, ev.At, ev.Version}] {
+			t.Fatalf("micro event %+v not in original", ev)
+		}
+	}
+	_ = source.ID(0)
+	_ = world.DomainPoint{}
+}

@@ -1,0 +1,76 @@
+package estimate
+
+import (
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func benchRNG(seed int64) *stats.RNG { return stats.NewRNG(seed) }
+
+// benchmark fixtures are built once.
+var benchEst *Estimator
+
+func getBenchEstimator(b *testing.B) *Estimator {
+	b.Helper()
+	if benchEst != nil {
+		return benchEst
+	}
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 2000, LambdaAppear: 5, GammaDisappear: 0.01, GammaUpdate: 0.02},
+			{Point: world.DomainPoint{Location: 1, Category: 0}, InitialEntities: 2000, LambdaAppear: 5, GammaDisappear: 0.01, GammaUpdate: 0.02},
+		},
+		Horizon: 500,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var srcs []*source.Source
+	for i := 0; i < 20; i++ {
+		s, err := source.Observe(w, source.ID(i), source.Spec{
+			Name:           "b",
+			UpdateInterval: 1,
+			Points:         w.Points(),
+			Insert:         source.CaptureSpec{Prob: 0.6, Delay: source.ExponentialDelay{Rate: 0.3}},
+			Delete:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+			Update:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+		}, benchRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs = append(srcs, s)
+	}
+	e, err := New(w, srcs, 300, 490, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEst = e
+	return e
+}
+
+// BenchmarkQualityMulti measures the profit oracle's core: a 10-candidate
+// set evaluated at 10 future ticks over 2 subdomains.
+func BenchmarkQualityMulti(b *testing.B) {
+	e := getBenchEstimator(b)
+	set := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	ticks := []timeline.Tick{310, 330, 350, 370, 390, 410, 430, 450, 470, 490}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.QualityMulti(set, ticks)
+	}
+}
+
+// BenchmarkQualitySingleton is the singleton-oracle cost that dominates
+// greedy construction phases.
+func BenchmarkQualitySingleton(b *testing.B) {
+	e := getBenchEstimator(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Quality([]int{i % 20}, 400)
+	}
+}

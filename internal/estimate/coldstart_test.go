@@ -1,0 +1,92 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"freshsource/internal/metrics"
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+)
+
+func TestAddColdStartCandidateValidation(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	s := mkSource(t, w, 9, defaultSpec(w.Points(), 0.8), 71)
+	if _, err := e.AddColdStartCandidate(w, s, -1); err == nil {
+		t.Error("want error for negative prior strength")
+	}
+}
+
+func TestColdStartInheritsPoolWithNoHistory(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	// A newcomer whose log is empty over the training window.
+	s := mkSource(t, w, 9, defaultSpec(w.Points(), 0.8), 72).Truncate(w.Horizon() - 1)
+	idx, err := e.AddColdStartCandidate(w, s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := e.Candidate(idx)
+	pooled := e.pooledTable(func(x *Candidate) []float64 { return x.gi }, int(e.MaxT-e.T0+1))
+	// With zero exact observations the blended table is close to the pool
+	// (censored observations still drag it down a little through the raw
+	// KM, weighted 0).
+	for d := 0; d < len(pooled); d += 20 {
+		if math.Abs(c.gi[d]-pooled[d]) > 1e-9 {
+			t.Fatalf("d=%d: cold-start table %v != pooled %v", d, c.gi[d], pooled[d])
+		}
+	}
+	if c.SourceIndex <= 3 {
+		t.Errorf("cold-start candidate reused source index %d", c.SourceIndex)
+	}
+}
+
+func TestColdStartBeatsRawOnRecentSource(t *testing.T) {
+	// The headline cold-start property: for a good source whose history
+	// only covers the last slice of the training window, the shrunken
+	// estimate predicts its future coverage better than the raw profile.
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+
+	full := mkSource(t, w, 9, defaultSpec(w.Points(), 0.85), 73)
+	newcomer := full.Truncate(280) // seen for only 20 of 300 training ticks
+
+	rawIdx, err := e.AddColdStartCandidate(w, newcomer, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shrunkIdx, err := e.AddColdStartCandidate(w, newcomer, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ground truth going forward: the source behaves like its full self.
+	var rawErr, shrunkErr float64
+	for _, tk := range []timeline.Tick{340, 380, 420} {
+		truth := metrics.QualityAt(w, []*source.Source{full}, tk, nil).Coverage
+		rawErr += stats.RelativeError(e.Quality([]int{rawIdx}, tk).Coverage, truth)
+		shrunkErr += stats.RelativeError(e.Quality([]int{shrunkIdx}, tk).Coverage, truth)
+	}
+	if shrunkErr >= rawErr {
+		t.Errorf("shrinkage did not help: raw err %v, shrunk err %v", rawErr, shrunkErr)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	w := testWorld(t)
+	s := mkSource(t, w, 0, defaultSpec(w.Points(), 0.9), 74)
+	cut := s.Truncate(200)
+	if cut.Log().Len() >= s.Log().Len() {
+		t.Error("truncation did not shrink the log")
+	}
+	for _, ev := range cut.Log().Events() {
+		if ev.At < 200 {
+			t.Fatalf("event before cut: %+v", ev)
+		}
+	}
+	if cut.Name() != s.Name() || cut.UpdateInterval() != s.UpdateInterval() {
+		t.Error("truncation changed metadata")
+	}
+}

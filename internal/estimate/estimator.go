@@ -1,0 +1,457 @@
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"freshsource/internal/bitset"
+	"freshsource/internal/metrics"
+	"freshsource/internal/profile"
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// Candidate is one selectable unit: a source profile at a specific
+// acquisition divisor (the augmented sources S^m of Definition 4). The
+// basic problem uses divisor 1.
+type Candidate struct {
+	// Profile carries the signatures, effectiveness distributions and
+	// acquisition schedule.
+	Profile *profile.Profile
+	// SourceIndex identifies the underlying source; all frequency variants
+	// of one source share it (the rank-1 partition classes of Section 5).
+	SourceIndex int
+	// covers flags which of the estimator's query points the source
+	// observes.
+	covers []bool
+	// gi, gd and gu tabulate the effectiveness CDFs at integer delays
+	// 0 … maxDelay; variants of one source share the tables.
+	gi, gd, gu []float64
+}
+
+// Name returns the candidate's display name.
+func (c *Candidate) Name() string { return c.Profile.Name }
+
+// Divisor returns the candidate's acquisition divisor.
+func (c *Candidate) Divisor() int { return c.Profile.AcqDivisor }
+
+// QualityEstimate is the estimated quality vector of an integration result
+// at one future tick.
+type QualityEstimate struct {
+	Coverage        float64
+	LocalFreshness  float64
+	GlobalFreshness float64
+	Accuracy        float64
+
+	// ExpectedOmega is E[|Ω|t] (Eq. 14).
+	ExpectedOmega float64
+	// ExpectedSize is E[|F(SI)|t] (Eq. 18).
+	ExpectedSize float64
+	// ExpectedUp is E[Up(F(SI), t)].
+	ExpectedUp float64
+	// ExpectedCovered is E[OldCov] + E[Ins] (the numerator of Eq. 12).
+	ExpectedCovered float64
+}
+
+// Estimator estimates integration quality for sets of candidates over a
+// query domain at future ticks in (t0, maxT].
+type Estimator struct {
+	// T0 is the end of the training window.
+	T0 timeline.Tick
+	// MaxT is the largest future tick the estimator supports.
+	MaxT timeline.Tick
+	// Literal switches the E[InsUp]/E[ExUp] survival exponents to the
+	// paper's printed (t−t0) form; the default uses the occurrence time τ.
+	Literal bool
+	// NoAlignment disables the TS(t) schedule alignment of Eq. 8 (ablation:
+	// pretend every source exposes changes the moment it learns them).
+	NoAlignment bool
+	// linearOmega switches E[|Ω|t] to the paper-literal constant-λd drift
+	// of Eq. 14; toggled via SetLinearOmega, which rebuilds the intensity
+	// tables.
+	linearOmega bool
+
+	points []world.DomainPoint
+	models []*WorldModel
+	masks  []*bitset.Set
+	cands  []*Candidate
+
+	// Per-model lookup tables over the future window, indexed by dt = t−T0
+	// (survival) or τ−T0 (intensities): they keep the hot estimation loop
+	// free of math.Exp calls.
+	survDel, survUpd       [][]float64
+	lamIns, lamDel, lamUpd [][]float64
+}
+
+// New builds an estimator for the query domain pts (nil = every point of
+// the world): it fits one world model per point and one profile per source,
+// all on the training window [0, t0]. maxT bounds the future ticks that may
+// be queried.
+func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []world.DomainPoint) (*Estimator, error) {
+	if len(srcs) == 0 {
+		return nil, errors.New("estimate: no sources")
+	}
+	if maxT <= t0 {
+		return nil, fmt.Errorf("estimate: maxT %d must exceed t0 %d", maxT, t0)
+	}
+	if pts == nil {
+		pts = w.Points()
+	}
+	e := &Estimator{T0: t0, MaxT: maxT, points: pts}
+
+	// World models per query point are independent; fit them in parallel.
+	span := int(maxT-t0) + 1
+	e.models = make([]*WorldModel, len(pts))
+	e.masks = make([]*bitset.Set, len(pts))
+	e.survDel = make([][]float64, len(pts))
+	e.survUpd = make([][]float64, len(pts))
+	e.lamIns = make([][]float64, len(pts))
+	e.lamDel = make([][]float64, len(pts))
+	e.lamUpd = make([][]float64, len(pts))
+	{
+		errs := make([]error, len(pts))
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for j, p := range pts {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(j int, p world.DomainPoint) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				m, err := FitWorldPoint(w, t0, p)
+				if err != nil {
+					errs[j] = err
+					return
+				}
+				e.models[j] = m
+				mask := bitset.New(w.NumEntities())
+				for _, id := range w.EntitiesOf(p) {
+					mask.Add(int(id))
+				}
+				e.masks[j] = mask
+
+				sd := make([]float64, span)
+				su := make([]float64, span)
+				li := make([]float64, span)
+				ld := make([]float64, span)
+				lu := make([]float64, span)
+				for dt := 0; dt < span; dt++ {
+					sd[dt] = m.SurvivalDel(timeline.Tick(dt))
+					su[dt] = m.SurvivalUpd(timeline.Tick(dt))
+					li[dt] = m.LambdaInsAt(t0 + timeline.Tick(dt))
+					ld[dt] = m.LambdaDelAt(t0 + timeline.Tick(dt))
+					lu[dt] = m.LambdaUpdAt(t0 + timeline.Tick(dt))
+				}
+				e.survDel[j] = sd
+				e.survUpd[j] = su
+				e.lamIns[j] = li
+				e.lamDel[j] = ld
+				e.lamUpd[j] = lu
+			}(j, p)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Profiles are independent; build them in parallel. Results land at
+	// fixed indices, so the estimator stays deterministic.
+	maxDelay := int(maxT - t0 + 1)
+	e.cands = make([]*Candidate, len(srcs))
+	errs := make([]error, len(srcs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, s := range srcs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, s *source.Source) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			prof, err := profile.Build(w, s, t0, pts)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			covered := make(map[world.DomainPoint]bool, len(s.Spec().Points))
+			for _, p := range s.Spec().Points {
+				covered[p] = true
+			}
+			c := &Candidate{Profile: prof, SourceIndex: i, covers: make([]bool, len(pts))}
+			for j, p := range pts {
+				c.covers[j] = covered[p]
+			}
+			c.gi = tabulate(prof.Gi, maxDelay)
+			c.gd = tabulate(prof.Gd, maxDelay)
+			c.gu = tabulate(prof.Gu, maxDelay)
+			e.cands[i] = c
+		}(i, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// tabulate samples a Kaplan–Meier CDF at integer delays 0 … maxDelay. A nil
+// distribution (no observations) tabulates to zero effectiveness.
+func tabulate(km *stats.KaplanMeier, maxDelay int) []float64 {
+	out := make([]float64, maxDelay+1)
+	if km == nil {
+		return out
+	}
+	for d := 0; d <= maxDelay; d++ {
+		out[d] = km.CDF(float64(d))
+	}
+	return out
+}
+
+// SetLinearOmega switches between the ODE-consistent world-size model
+// (default) and the paper-literal constant-λd drift of Eq. 14, rebuilding
+// the intensity tables accordingly. Part of the ablation study.
+func (e *Estimator) SetLinearOmega(on bool) {
+	if e.linearOmega == on {
+		return
+	}
+	e.linearOmega = on
+	span := int(e.MaxT-e.T0) + 1
+	for j, m := range e.models {
+		for dt := 0; dt < span; dt++ {
+			if on {
+				e.lamDel[j][dt] = m.LambdaDel
+				e.lamUpd[j][dt] = m.LambdaUpd
+			} else {
+				e.lamDel[j][dt] = m.LambdaDelAt(e.T0 + timeline.Tick(dt))
+				e.lamUpd[j][dt] = m.LambdaUpdAt(e.T0 + timeline.Tick(dt))
+			}
+		}
+	}
+}
+
+// AddFrequencyVariants appends, for every base candidate (divisor 1),
+// variants acquired at each of the given divisors. It returns the total
+// number of candidates. Variants share their base's effectiveness tables.
+func (e *Estimator) AddFrequencyVariants(divisors []int) (int, error) {
+	base := len(e.cands)
+	for i := 0; i < base; i++ {
+		c := e.cands[i]
+		if c.Divisor() != 1 {
+			continue
+		}
+		for _, m := range divisors {
+			if m <= 1 {
+				continue
+			}
+			prof, err := c.Profile.WithDivisor(m)
+			if err != nil {
+				return 0, err
+			}
+			e.cands = append(e.cands, &Candidate{
+				Profile:     prof,
+				SourceIndex: c.SourceIndex,
+				covers:      c.covers,
+				gi:          c.gi,
+				gd:          c.gd,
+				gu:          c.gu,
+			})
+		}
+	}
+	return len(e.cands), nil
+}
+
+// NumCandidates returns the number of selectable candidates.
+func (e *Estimator) NumCandidates() int { return len(e.cands) }
+
+// Candidate returns the i-th candidate.
+func (e *Estimator) Candidate(i int) *Candidate { return e.cands[i] }
+
+// Points returns the estimator's query domain.
+func (e *Estimator) Points() []world.DomainPoint { return e.points }
+
+// Model returns the world model of the i-th query point.
+func (e *Estimator) Model(i int) *WorldModel { return e.models[i] }
+
+// eff evaluates one tabulated effectiveness CDF under the Eq. 8 alignment.
+func (c *Candidate) eff(tab []float64, t, tc timeline.Tick) float64 {
+	ts := c.Profile.TS(t)
+	if ts < tc {
+		return 0
+	}
+	d := int(ts - tc)
+	if d >= len(tab) {
+		d = len(tab) - 1
+	}
+	return tab[d]
+}
+
+// Quality estimates the quality of integrating the candidate set at tick t.
+// set holds candidate indices.
+func (e *Estimator) Quality(set []int, t timeline.Tick) QualityEstimate {
+	return e.QualityMulti(set, []timeline.Tick{t})[0]
+}
+
+// QualityMulti estimates quality at several future ticks, computing the
+// signature unions once. Ticks must lie in [T0, MaxT].
+func (e *Estimator) QualityMulti(set []int, ts []timeline.Tick) []QualityEstimate {
+	for _, t := range ts {
+		if t < e.T0 || t > e.MaxT {
+			panic(fmt.Sprintf("estimate: tick %d outside [%d, %d]", t, e.T0, e.MaxT))
+		}
+	}
+	// Union signatures over the set (deduplicating shared signatures is
+	// unnecessary: union is idempotent).
+	var uB, uCov, uUp *bitset.Set
+	for _, i := range set {
+		p := e.cands[i].Profile
+		if uB == nil {
+			uB, uCov, uUp = p.B.Clone(), p.Bcov.Clone(), p.Bup.Clone()
+			continue
+		}
+		uB.UnionWith(p.B)
+		uCov.UnionWith(p.Bcov)
+		uUp.UnionWith(p.Bup)
+	}
+
+	// Per-point t0 content counts and covering-candidate lists, computed
+	// once per set.
+	nPts := len(e.points)
+	covT0 := make([]int, nPts)
+	upT0 := make([]int, nPts)
+	sizeT0 := make([]int, nPts)
+	covering := make([][]*Candidate, nPts)
+	if uB != nil {
+		for j := range e.points {
+			covT0[j] = bitset.IntersectCount(uCov, e.masks[j])
+			upT0[j] = bitset.IntersectCount(uUp, e.masks[j])
+			sizeT0[j] = bitset.IntersectCount(uB, e.masks[j])
+		}
+	}
+	for j := range e.points {
+		for _, i := range set {
+			if e.cands[i].covers[j] {
+				covering[j] = append(covering[j], e.cands[i])
+			}
+		}
+	}
+
+	// Scratch miss-probability buffers shared across points and ticks.
+	span := int(e.MaxT - e.T0)
+	scratch := &missBuffers{
+		ins: make([]float64, span),
+		del: make([]float64, span),
+		upd: make([]float64, span),
+	}
+
+	out := make([]QualityEstimate, len(ts))
+	for k, t := range ts {
+		out[k] = e.qualityAt(t, covT0, upT0, sizeT0, covering, scratch)
+	}
+	return out
+}
+
+type missBuffers struct{ ins, del, upd []float64 }
+
+// qualityAt evaluates Equations 12–19 at one tick. covering[j] lists the
+// set's candidates that observe point j; scratch holds reusable buffers.
+func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, covering [][]*Candidate, scratch *missBuffers) QualityEstimate {
+	var omega, covered, up, size float64
+	dt0 := int(t - e.T0)
+
+	for j := range e.points {
+		m := e.models[j]
+		if e.linearOmega {
+			omega += m.ExpectedOmegaLinear(t)
+		} else {
+			omega += m.ExpectedOmega(t)
+		}
+		survDel, survUpd := e.survDel[j], e.survUpd[j]
+		lamIns, lamDel, lamUpd := e.lamIns[j], e.lamDel[j], e.lamUpd[j]
+
+		// Eq. 13: surviving covered content from t0, and E[OldUp]:
+		// survived and unchanged.
+		oldCov := float64(covT0[j]) * survDel[dt0]
+		oldUp := float64(upT0[j]) * survDel[dt0] * survUpd[dt0]
+
+		// Miss probabilities per occurrence index i (τ = T0+1+i):
+		// Π over covering candidates of (1 − eff). One pass per candidate
+		// keeps the loop branch-free (Eq. 9–11).
+		missIns := scratch.ins[:dt0]
+		missDel := scratch.del[:dt0]
+		missUpd := scratch.upd[:dt0]
+		for i := range missIns {
+			missIns[i], missDel[i], missUpd[i] = 1, 1, 1
+		}
+		for _, c := range covering[j] {
+			ts := c.Profile.TS(t)
+			if e.NoAlignment {
+				ts = t
+			}
+			// eff(τ) = tab[ts−τ] for τ ≤ ts; zero beyond.
+			iMax := int(ts - e.T0 - 1) // largest i with τ = T0+1+i ≤ ts
+			if iMax >= dt0 {
+				iMax = dt0 - 1
+			}
+			cv := c.Profile.CoverageT0
+			for i := 0; i <= iMax; i++ {
+				d := int(ts-e.T0) - 1 - i
+				missIns[i] *= 1 - c.gi[d]
+				missDel[i] *= 1 - cv*c.gd[d]
+				missUpd[i] *= 1 - cv*c.gu[d]
+			}
+		}
+
+		var ins, del, insUp, exUp float64
+		for i := 0; i < dt0; i++ {
+			dtau := dt0 - 1 - i // t − τ
+			sd, su := survDel[dtau], survUpd[dtau]
+			if e.Literal {
+				sd, su = survDel[dt0], survUpd[dt0]
+			}
+			prIns := 1 - missIns[i]
+			// Eq. 15, Eq. 19, and the E[InsUp]/E[ExUp] sums, with the
+			// time-varying λi(τ) (seasonal subdomains), λd(τ), λu(τ).
+			ins += lamIns[i+1] * survDel[dtau] * prIns
+			del += lamDel[i+1] * (1 - missDel[i])
+			insUp += lamIns[i+1] * sd * su * prIns
+			exUp += lamUpd[i+1] * sd * su * (1 - missUpd[i])
+		}
+
+		covered += oldCov + ins
+		up += oldUp + insUp + exUp
+		sz := float64(sizeT0[j]) + ins - del
+		if sz < 0 {
+			sz = 0
+		}
+		size += sz
+	}
+
+	q := QualityEstimate{ExpectedOmega: omega, ExpectedSize: size, ExpectedUp: up, ExpectedCovered: covered}
+	if omega > 0 {
+		q.Coverage = clamp01(covered / omega)
+		q.GlobalFreshness = clamp01(up / omega)
+	}
+	if size > 0 {
+		q.LocalFreshness = clamp01(up / size)
+	}
+	q.Accuracy = metrics.AccuracyFromComponents(q.Coverage, q.LocalFreshness, q.GlobalFreshness)
+	return q
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}

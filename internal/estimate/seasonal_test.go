@@ -1,0 +1,97 @@
+package estimate
+
+import (
+	"testing"
+
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func seasonalWorld(t *testing.T, amplitude float64) *world.World {
+	t.Helper()
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{{
+			Point:           world.DomainPoint{Location: 0, Category: 0},
+			InitialEntities: 100,
+			LambdaAppear:    12,
+			GammaDisappear:  0.03,
+			GammaUpdate:     0.01,
+			WeeklyAmplitude: amplitude,
+		}},
+		Horizon: 500,
+		Seed:    91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestSeasonalWorldDetected(t *testing.T) {
+	w := seasonalWorld(t, 0.6)
+	m, err := FitWorldPoint(w, 300, world.DomainPoint{Location: 0, Category: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeriodicIns == nil {
+		t.Fatal("seasonality not detected in the fitted model")
+	}
+	// Peak phase rate must exceed trough substantially.
+	hi, lo := stats.Max(m.PeriodicIns.Rates), stats.Min(m.PeriodicIns.Rates)
+	if hi < 1.5*lo {
+		t.Errorf("phase rates too flat: %v", m.PeriodicIns.Rates)
+	}
+	// LambdaInsAt follows the phases; mean stays near λi.
+	var sum float64
+	for d := 0; d < 7; d++ {
+		sum += m.LambdaInsAt(timeline.Tick(300 + d))
+	}
+	if avg := sum / 7; avg < 0.8*m.LambdaIns || avg > 1.2*m.LambdaIns {
+		t.Errorf("phase-average %v far from λi %v", avg, m.LambdaIns)
+	}
+}
+
+func TestHomogeneousWorldNotFlaggedSeasonal(t *testing.T) {
+	w := seasonalWorld(t, 0)
+	m, err := FitWorldPoint(w, 300, world.DomainPoint{Location: 0, Category: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeriodicIns != nil {
+		t.Error("homogeneous world flagged as seasonal")
+	}
+	if m.LambdaInsAt(310) != m.LambdaIns {
+		t.Error("LambdaInsAt should be constant without seasonality")
+	}
+}
+
+func TestSeasonalPredictionTracksPhases(t *testing.T) {
+	// Short-horizon appearance predictions must follow the weekly cycle:
+	// the model's per-tick intensity at the peak phase exceeds the trough
+	// by roughly the generator's modulation.
+	w := seasonalWorld(t, 0.6)
+	m, err := FitWorldPoint(w, 300, world.DomainPoint{Location: 0, Category: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PeriodicIns == nil {
+		t.Fatal("precondition: seasonal model")
+	}
+	// Compare against the realized future counts per phase.
+	counts := w.AppearanceCounts(300, 480, nil)
+	perPhase := make([]float64, 7)
+	nums := make([]float64, 7)
+	for i, c := range counts {
+		p := (300 + i) % 7
+		perPhase[p] += float64(c)
+		nums[p]++
+	}
+	for p := 0; p < 7; p++ {
+		actual := perPhase[p] / nums[p]
+		pred := m.PeriodicIns.RateAt(p)
+		if stats.RelativeError(pred, actual) > 0.25 {
+			t.Errorf("phase %d: predicted %v, realized %v", p, pred, actual)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"freshsource/internal/estimate"
+	"freshsource/internal/metrics"
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+)
+
+// Ablation quantifies the design choices DESIGN.md calls out, by measuring
+// how each degraded estimator variant predicts the quality of the five
+// largest BL sources over 13 future time points:
+//
+//   - full: the default estimator (τ-dependent exponents, TS(t) schedule
+//     alignment of Eq. 8, ODE-consistent world size).
+//   - literal-exponents: the paper's printed (t−t0) survival exponents in
+//     E[InsUp]/E[ExUp].
+//   - no-alignment: ignore the sources' update schedules (changes surface
+//     the moment a source learns them).
+//   - linear-omega: the paper-literal constant-λd drift of Eq. 14 for
+//     E[|Ω|t].
+func Ablation(env *Env) ([]*Table, error) {
+	d, err := env.BL()
+	if err != nil {
+		return nil, err
+	}
+	// Far horizon: 13 spread ticks (where the world-size model matters).
+	// Near horizon: the first 10 days after t0 (where the Eq. 8 schedule
+	// alignment matters — within one update interval of slow sources).
+	ticks := futurePoints(d.T0, d.Horizon(), 13)
+	near := metricsTicks(d.T0+1, d.T0+10)
+
+	// Mix the three largest sources with the two largest slow-schedule
+	// sources (interval ≥ 7), so both design choices are exercised.
+	var top []int
+	for _, i := range d.LargestSources(len(d.Sources)) {
+		if len(top) < 3 {
+			top = append(top, i)
+			continue
+		}
+		if d.Sources[i].UpdateInterval() >= 7 {
+			top = append(top, i)
+		}
+		if len(top) == 5 {
+			break
+		}
+	}
+
+	type variant struct {
+		name  string
+		setup func(e *estimate.Estimator)
+	}
+	variants := []variant{
+		{"full", func(*estimate.Estimator) {}},
+		{"literal-exponents", func(e *estimate.Estimator) { e.Literal = true }},
+		{"no-alignment", func(e *estimate.Estimator) { e.NoAlignment = true }},
+		{"linear-omega", func(e *estimate.Estimator) { e.SetLinearOmega(true) }},
+	}
+
+	tbl := &Table{
+		Title:  "Ablation — mean relative prediction error, 5 BL sources (3 largest + 2 slow-schedule)",
+		Header: []string{"variant", "cov err (near)", "cov err (far)", "glob-frsh err (far)", "E[omega] err (far)"},
+	}
+	for _, v := range variants {
+		var nearErrs, covErrs, gfErrs, omErrs []float64
+		for _, si := range top {
+			src := d.Sources[si]
+			e, err := estimate.New(d.World, []*source.Source{src}, d.T0, ticks[len(ticks)-1], nil)
+			if err != nil {
+				return nil, err
+			}
+			v.setup(e)
+			qs := e.QualityMulti([]int{0}, ticks)
+			truth := metrics.QualitySeries(d.World, []*source.Source{src}, ticks, nil)
+			for i := range ticks {
+				covErrs = append(covErrs, stats.RelativeError(qs[i].Coverage, truth[i].Coverage))
+				gfErrs = append(gfErrs, stats.RelativeError(qs[i].GlobalFreshness, truth[i].GlobalFreshness))
+				omErrs = append(omErrs, stats.RelativeError(qs[i].ExpectedOmega, float64(d.World.AliveCount(ticks[i], nil))))
+			}
+			qn := e.QualityMulti([]int{0}, near)
+			tn := metrics.QualitySeries(d.World, []*source.Source{src}, near, nil)
+			for i := range near {
+				nearErrs = append(nearErrs, stats.RelativeError(qn[i].Coverage, tn[i].Coverage))
+			}
+		}
+		tbl.AddRow(v.name, stats.Mean(nearErrs), stats.Mean(covErrs), stats.Mean(gfErrs), stats.Mean(omErrs))
+	}
+	tbl.AddNote("each degraded variant should be worse on the metric its design choice protects:")
+	tbl.AddNote("literal-exponents → global freshness; linear-omega → E[omega]")
+	tbl.AddNote("no-alignment barely registers on BL-scale stocks (daily flow ≪ stock); the")
+	tbl.AddNote("estimate package's TestNoAlignmentOvershootsForSlowSources isolates the mechanism")
+	return []*Table{tbl}, nil
+}
+
+// metricsTicks is a local alias to avoid importing metrics.Ticks under a
+// clashing name.
+func metricsTicks(lo, hi timeline.Tick) []timeline.Tick {
+	out := make([]timeline.Tick, 0, int(hi-lo)+1)
+	for t := lo; t <= hi; t++ {
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny returns a configuration small enough for unit tests.
+func tiny() Config {
+	cfg := Quick()
+	cfg.BL.Locations = 6
+	cfg.BL.Categories = 4
+	cfg.BL.NumSources = 8
+	cfg.BL.Horizon = 160
+	cfg.BL.T0 = 90
+	cfg.BL.Scale = 0.3
+	cfg.GDELT.Locations = 8
+	cfg.GDELT.EventTypes = 5
+	cfg.GDELT.NumSources = 25
+	cfg.GDELT.Scale = 0.4
+	cfg.ScalabilityMultipliers = []int{0, 1}
+	cfg.GraspConfigs = [][2]int{{1, 1}, {2, 3}}
+	return cfg
+}
+
+var tinyEnv = NewEnv(tiny())
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow(1, 2.5)
+	tbl.AddRow("x", "yyyy")
+	tbl.AddNote("n=%d", 2)
+	s := tbl.String()
+	for _, want := range []string{"== demo ==", "a", "bb", "2.5000", "yyyy", "note: n=2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 26 {
+		t.Errorf("registry has %d experiments, want 26", len(ids))
+	}
+	if _, err := Run("nope", tinyEnv); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestFuturePoints(t *testing.T) {
+	ts := futurePoints(100, 201, 10)
+	if len(ts) != 10 {
+		t.Fatalf("len = %d", len(ts))
+	}
+	if ts[0] <= 100 || ts[9] != 200 {
+		t.Errorf("range wrong: %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("not increasing")
+		}
+	}
+	if futurePoints(100, 200, 0) != nil {
+		t.Error("n=0 should be nil")
+	}
+}
+
+func TestEnvCaching(t *testing.T) {
+	env := NewEnv(tiny())
+	d1, err := env.BL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := env.BL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("BL dataset not cached")
+	}
+}
+
+// TestAllExperimentsRun smoke-tests every registered experiment on the tiny
+// configuration: each must produce at least one non-empty table.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("expensive")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tables, err := Run(id, tinyEnv)
+			if err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s produced no tables", id)
+			}
+			for _, tbl := range tables {
+				if tbl.Title == "" || len(tbl.Header) == 0 {
+					t.Errorf("%s produced a malformed table", id)
+				}
+				if len(tbl.Rows) == 0 {
+					t.Errorf("%s table %q has no rows", id, tbl.Title)
+				}
+				if s := tbl.String(); len(s) == 0 {
+					t.Errorf("%s renders empty", id)
+				}
+			}
+		})
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	if got := pearson(x, x); got < 0.999 {
+		t.Errorf("self correlation = %v", got)
+	}
+	y := []float64{4, 3, 2, 1}
+	if got := pearson(x, y); got > -0.999 {
+		t.Errorf("anti correlation = %v", got)
+	}
+	if pearson([]float64{1}, []float64{1}) != 0 {
+		t.Error("degenerate should be 0")
+	}
+	if pearson([]float64{1, 1}, []float64{1, 2}) != 0 {
+		t.Error("zero variance should be 0")
+	}
+}
+
+func TestGroupByError(t *testing.T) {
+	names := []string{"a", "b", "c", "d", "e", "f"}
+	series := [][]float64{{0.1}, {0.2}, {0.3}, {0.4}, {0.5}, {0.6}}
+	reps := groupByError(names, series, 3)
+	if len(reps) != 3 {
+		t.Fatalf("groups = %d", len(reps))
+	}
+	total := 0
+	for _, r := range reps {
+		total += r.size
+	}
+	if total != len(names) {
+		t.Errorf("group sizes sum to %d", total)
+	}
+	// Representatives ordered by increasing error.
+	if reps[0].series[0] > reps[2].series[0] {
+		t.Error("groups not ordered by error")
+	}
+}

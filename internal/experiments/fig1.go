@@ -1,0 +1,218 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/metrics"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// sampledTicks returns ~n ticks spanning [lo, hi].
+func sampledTicks(lo, hi timeline.Tick, n int) []timeline.Tick {
+	if n < 2 || hi <= lo {
+		return []timeline.Tick{hi}
+	}
+	step := (hi - lo) / timeline.Tick(n-1)
+	if step < 1 {
+		step = 1
+	}
+	var out []timeline.Tick
+	for t := lo; t <= hi; t += step {
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig1a reproduces Figure 1(a): average update frequency vs average local
+// freshness per BL source, showing the two are uncorrelated.
+func Fig1a(env *Env) ([]*Table, error) {
+	d, err := env.BL()
+	if err != nil {
+		return nil, err
+	}
+	ticks := sampledTicks(d.T0/2, d.T0, 20)
+	tbl := &Table{
+		Title:  "Figure 1a — source avg update frequency vs avg freshness (BL)",
+		Header: []string{"source", "upd-freq (1/day)", "avg-freshness"},
+	}
+	var fs, frs []float64
+	for _, s := range d.Sources {
+		f := 1.0 / float64(s.UpdateInterval())
+		fr := metrics.AverageFreshness(d.World, s, ticks)
+		fs = append(fs, f)
+		frs = append(frs, fr)
+		tbl.AddRow(s.Name(), f, fr)
+	}
+	tbl.AddNote("pearson correlation(freq, freshness) = %.3f (paper: no clear correspondence)", pearson(fs, frs))
+	return []*Table{tbl}, nil
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n < 2 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var num, dx, dy float64
+	for i := range x {
+		num += (x[i] - mx) * (y[i] - my)
+		dx += (x[i] - mx) * (x[i] - mx)
+		dy += (y[i] - my) * (y[i] - my)
+	}
+	if dx == 0 || dy == 0 {
+		return 0
+	}
+	return num / (math.Sqrt(dx) * math.Sqrt(dy))
+}
+
+// coverageSets builds the two source sets of Figures 1(b)/(e): both contain
+// the two largest sources; the first adds one mid-sized source, the second
+// adds three other mid-sized sources.
+func coverageSets(d *dataset.Dataset) (set1, set2 []*source.Source) {
+	order := d.LargestSources(len(d.Sources))
+	two := []*source.Source{d.Sources[order[0]], d.Sources[order[1]]}
+	mids := order[len(order)/3:]
+	set1 = append(append([]*source.Source{}, two...), d.Sources[mids[0]])
+	set2 = append([]*source.Source{}, two...)
+	for _, i := range mids[1:] {
+		set2 = append(set2, d.Sources[i])
+		if len(set2) == 5 {
+			break
+		}
+	}
+	return set1, set2
+}
+
+// figCoverageTimelines renders coverage series for two sets restricted to a
+// location.
+func figCoverageTimelines(title string, d *dataset.Dataset, pts []world.DomainPoint) *Table {
+	set1, set2 := coverageSets(d)
+	ticks := sampledTicks(0, d.Horizon()-1, 30)
+	q1 := metrics.QualitySeries(d.World, set1, ticks, pts)
+	q2 := metrics.QualitySeries(d.World, set2, ticks, pts)
+	tbl := &Table{
+		Title:  title,
+		Header: []string{"tick", fmt.Sprintf("set1 (%d srcs)", len(set1)), fmt.Sprintf("set2 (%d srcs)", len(set2))},
+	}
+	crossovers := 0
+	prevLead := 0
+	for i, t := range ticks {
+		tbl.AddRow(int(t), q1[i].Coverage, q2[i].Coverage)
+		lead := 0
+		if q1[i].Coverage > q2[i].Coverage {
+			lead = 1
+		} else if q2[i].Coverage > q1[i].Coverage {
+			lead = -1
+		}
+		if lead != 0 && prevLead != 0 && lead != prevLead {
+			crossovers++
+		}
+		if lead != 0 {
+			prevLead = lead
+		}
+	}
+	tbl.AddNote("leadership crossovers over the window: %d (paper: the best set varies across time)", crossovers)
+	return tbl
+}
+
+// Fig1b reproduces Figure 1(b): coverage timelines of two source sets for a
+// single BL location.
+func Fig1b(env *Env) ([]*Table, error) {
+	d, err := env.BL()
+	if err != nil {
+		return nil, err
+	}
+	loc := largestPoints(d.World, d.T0, 1)[0].Location
+	pts := pointsOfLocation(d.World, loc)
+	return []*Table{figCoverageTimelines(
+		fmt.Sprintf("Figure 1b — coverage timelines for two source sets (BL, location %d)", loc), d, pts)}, nil
+}
+
+// figHalfFrequency renders the coverage of the largest source at its
+// regular acquisition frequency and at half that frequency.
+func figHalfFrequency(title string, d *dataset.Dataset) (*Table, error) {
+	idx := d.LargestSources(1)[0]
+	full := d.Sources[idx]
+	half, err := full.Downsample(2)
+	if err != nil {
+		return nil, err
+	}
+	ticks := sampledTicks(0, d.Horizon()-1, 30)
+	qf := metrics.QualitySeries(d.World, []*source.Source{full}, ticks, nil)
+	qh := metrics.QualitySeries(d.World, []*source.Source{half}, ticks, nil)
+	tbl := &Table{Title: title, Header: []string{"tick", "reg. freq.", "reg. freq. x 0.5"}}
+	var worst float64
+	for i, t := range ticks {
+		tbl.AddRow(int(t), qf[i].Coverage, qh[i].Coverage)
+		if diff := qf[i].Coverage - qh[i].Coverage; diff > worst {
+			worst = diff
+		}
+	}
+	tbl.AddNote("max coverage loss from halving acquisition frequency: %.4f (paper: quality loss not significant, cost halved)", worst)
+	return tbl, nil
+}
+
+// Fig1c reproduces Figure 1(c) for BL.
+func Fig1c(env *Env) ([]*Table, error) {
+	d, err := env.BL()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := figHalfFrequency("Figure 1c — largest BL source at full vs half acquisition frequency", d)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tbl}, nil
+}
+
+// Fig1d reproduces Figure 1(d): average report delay and fraction of
+// delayed items for the 20 largest GDELT sources.
+func Fig1d(env *Env) ([]*Table, error) {
+	d, err := env.GDELT()
+	if err != nil {
+		return nil, err
+	}
+	tbl := &Table{
+		Title:  "Figure 1d — avg delay vs fraction of delayed items, 20 largest GDELT sources",
+		Header: []string{"source", "avg-delay (days)", "fraction-delayed", "captured"},
+	}
+	for _, i := range d.LargestSources(20) {
+		st := metrics.InsertionDelayStats(d.World, d.Sources[i])
+		tbl.AddRow(d.Sources[i].Name(), st.AvgDelay, st.FractionDelayed, st.Captured)
+	}
+	tbl.AddNote("all sources update daily; delays come from slow reporting (Example 2)")
+	return []*Table{tbl}, nil
+}
+
+// Fig1e reproduces Figure 1(e): GDELT coverage timelines for two source
+// sets on the largest location ("US").
+func Fig1e(env *Env) ([]*Table, error) {
+	d, err := env.GDELT()
+	if err != nil {
+		return nil, err
+	}
+	pts := pointsOfLocation(d.World, 0) // location 0 dominates by construction
+	return []*Table{figCoverageTimelines("Figure 1e — coverage timelines for two source sets (GDELT, US)", d, pts)}, nil
+}
+
+// Fig1f reproduces Figure 1(f) for GDELT.
+func Fig1f(env *Env) ([]*Table, error) {
+	d, err := env.GDELT()
+	if err != nil {
+		return nil, err
+	}
+	tbl, err := figHalfFrequency("Figure 1f — largest GDELT source at full vs half acquisition frequency", d)
+	if err != nil {
+		return nil, err
+	}
+	return []*Table{tbl}, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one experiment.
+type Runner func(*Env) ([]*Table, error)
+
+// registry maps experiment ids to runners. Ids follow the paper's
+// table/figure numbering.
+var registry = map[string]Runner{
+	"fig1a":  Fig1a,
+	"fig1b":  Fig1b,
+	"fig1c":  Fig1c,
+	"fig1d":  Fig1d,
+	"fig1e":  Fig1e,
+	"fig1f":  Fig1f,
+	"fig4":   Fig4,
+	"fig5a":  Fig5a,
+	"fig5b":  Fig5b,
+	"fig6":   Fig6,
+	"fig7":   Fig7,
+	"fig8":   Fig8,
+	"fig9":   Fig9,
+	"fig10a": Fig10a,
+	"fig10b": Fig10b,
+	"fig11":  Fig11,
+	"fig12":  Fig12,
+	"fig13a": Fig13a,
+	"fig13b": Fig13b,
+	"tab1-2": Table1and2,
+	"tab3":   Table3,
+	"tab4":   Table4,
+	"tab5":   Table5,
+	"tab6-7": Table6and7,
+	// Beyond the paper: ablation of the implementation's design choices and
+	// a walk-forward validation of the statistical models.
+	"ablation": Ablation,
+	"backtest": Backtest,
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run regenerates one experiment by id.
+func Run(id string, env *Env) ([]*Table, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(env)
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"freshsource/internal/core"
+)
+
+func mkRun(profits map[string]float64) instanceRun {
+	r := instanceRun{sel: map[string]*core.Selection{}}
+	for name, p := range profits {
+		r.sel[name] = &core.Selection{Profit: p, Duration: time.Duration(len(name)) * time.Millisecond}
+	}
+	return r
+}
+
+func TestSummarize(t *testing.T) {
+	runs := []instanceRun{
+		mkRun(map[string]float64{"A": 1.0, "B": 1.0}),  // tie: both best
+		mkRun(map[string]float64{"A": 1.0, "B": 0.9}),  // A best, B 10% off
+		mkRun(map[string]float64{"A": 0.5, "B": 1.0}),  // B best, A 50% off
+		mkRun(map[string]float64{"A": 1.0, "B": 0.99}), // A best, B 1% off
+	}
+	a := summarize(runs, "A")
+	if math.Abs(a.bestFrac-0.75) > 1e-12 {
+		t.Errorf("A bestFrac = %v", a.bestFrac)
+	}
+	if math.Abs(a.avgDiff-50) > 1e-9 || math.Abs(a.worstDiff-50) > 1e-9 {
+		t.Errorf("A diffs = %v (%v)", a.avgDiff, a.worstDiff)
+	}
+	b := summarize(runs, "B")
+	if math.Abs(b.bestFrac-0.5) > 1e-12 {
+		t.Errorf("B bestFrac = %v", b.bestFrac)
+	}
+	if math.Abs(b.avgDiff-5.5) > 1e-9 {
+		t.Errorf("B avgDiff = %v", b.avgDiff)
+	}
+	if math.Abs(b.worstDiff-10) > 1e-9 {
+		t.Errorf("B worstDiff = %v", b.worstDiff)
+	}
+}
+
+func TestSummarizeNegativeProfits(t *testing.T) {
+	runs := []instanceRun{
+		mkRun(map[string]float64{"A": -1.0, "B": -2.0}),
+	}
+	a := summarize(runs, "A")
+	if a.bestFrac != 1 {
+		t.Errorf("A should be best, frac = %v", a.bestFrac)
+	}
+	b := summarize(runs, "B")
+	if b.bestFrac != 0 || b.avgDiff <= 0 {
+		t.Errorf("B stats = %+v", b)
+	}
+}
+
+func TestBestGrasp(t *testing.T) {
+	specs := []algoSpec{
+		{name: "Greedy", alg: core.Greedy},
+		{name: "Grasp-(1,1)", alg: core.GRASP, kappa: 1, r: 1},
+		{name: "Grasp-(5,20)", alg: core.GRASP, kappa: 5, r: 20},
+	}
+	runs := []instanceRun{
+		mkRun(map[string]float64{"Greedy": 1.0, "Grasp-(1,1)": 0.8, "Grasp-(5,20)": 1.0}),
+		mkRun(map[string]float64{"Greedy": 0.7, "Grasp-(1,1)": 0.9, "Grasp-(5,20)": 0.9}),
+	}
+	name, st := bestGrasp(runs, specs)
+	if name != "Grasp-(5,20)" {
+		t.Errorf("best grasp = %s", name)
+	}
+	if st.bestFrac != 1 {
+		t.Errorf("bestFrac = %v", st.bestFrac)
+	}
+}
+
+func TestAvgRuntime(t *testing.T) {
+	runs := []instanceRun{
+		mkRun(map[string]float64{"A": 1}),
+		mkRun(map[string]float64{"A": 1}),
+	}
+	runs[0].sel["A"].Duration = 10 * time.Millisecond
+	runs[1].sel["A"].Duration = 30 * time.Millisecond
+	avg, max := avgRuntime(runs, "A")
+	if avg != 20*time.Millisecond || max != 30*time.Millisecond {
+		t.Errorf("avg %v max %v", avg, max)
+	}
+}
+
+func TestSampledTicks(t *testing.T) {
+	ts := sampledTicks(0, 100, 11)
+	if len(ts) < 10 || ts[0] != 0 {
+		t.Errorf("ticks = %v", ts)
+	}
+	for i := 1; i < len(ts); i++ {
+		if ts[i] <= ts[i-1] {
+			t.Fatal("not increasing")
+		}
+	}
+	if got := sampledTicks(50, 50, 5); len(got) != 1 || got[0] != 50 {
+		t.Errorf("degenerate = %v", got)
+	}
+}
+
+func TestLargestPointsOrdering(t *testing.T) {
+	env := NewEnv(tiny())
+	d, err := env.BL()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := largestPoints(d.World, d.T0, 4)
+	if len(pts) != 4 {
+		t.Fatalf("pts = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		a := d.World.AliveCount(d.T0, pts[i-1:i])
+		b := d.World.AliveCount(d.T0, pts[i:i+1])
+		if b > a {
+			t.Fatal("not descending by size")
+		}
+	}
+}

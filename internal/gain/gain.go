@@ -1,0 +1,390 @@
+// Package gain implements the gain and cost models of the paper's
+// experimental section (Section 6.1): the quality-driven gain families
+// LINEARGAIN, QUADGAIN and STEPGAIN over a chosen quality metric, the
+// data-driven DATAGAIN, the additive shared-item cost model with the
+// frequency discount c′ = c/(1+m/10), and the [0,1] rescaling of gain and
+// cost. It also provides the Profit oracle — the objective
+// G(SI, Tf) − C(SI, Tf) of Definitions 3–5 — consumed by the selection
+// algorithms.
+package gain
+
+import (
+	"errors"
+	"fmt"
+
+	"freshsource/internal/estimate"
+	"freshsource/internal/timeline"
+)
+
+// Metric selects which quality measure drives a quality-based gain.
+type Metric int
+
+const (
+	// Coverage is Eq. 1 (submodular estimate → MaxSub applies).
+	Coverage Metric = iota
+	// LocalFreshness is Eq. 2 (not submodular → GRASP).
+	LocalFreshness
+	// GlobalFreshness is Eq. 3 (submodular estimate → MaxSub applies).
+	GlobalFreshness
+	// Accuracy is Eq. 4–5 (not submodular → GRASP).
+	Accuracy
+)
+
+// String implements fmt.Stringer.
+func (m Metric) String() string {
+	switch m {
+	case Coverage:
+		return "coverage"
+	case LocalFreshness:
+		return "local-freshness"
+	case GlobalFreshness:
+		return "global-freshness"
+	case Accuracy:
+		return "accuracy"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// Submodular reports whether the estimated metric is a monotone submodular
+// set function (Theorems 1 and 2 of the paper), which decides whether
+// MaxSub's guarantees apply.
+func (m Metric) Submodular() bool { return m == Coverage || m == GlobalFreshness }
+
+// Of extracts the metric's value from a quality estimate.
+func (m Metric) Of(q estimate.QualityEstimate) float64 {
+	switch m {
+	case Coverage:
+		return q.Coverage
+	case LocalFreshness:
+		return q.LocalFreshness
+	case GlobalFreshness:
+		return q.GlobalFreshness
+	case Accuracy:
+		return q.Accuracy
+	default:
+		panic("gain: unknown metric")
+	}
+}
+
+// Function maps the quality estimate at one time point to a gain value
+// (before rescaling).
+type Function interface {
+	// Eval returns the gain at one time point.
+	Eval(q estimate.QualityEstimate) float64
+	// MaxGain returns an upper bound of Eval used for [0,1] rescaling.
+	MaxGain() float64
+	// Name identifies the function in reports.
+	Name() string
+	// Submodular reports whether gain composed with the estimators remains
+	// monotone submodular (non-negative non-decreasing linear in a
+	// submodular metric).
+	Submodular() bool
+}
+
+// Linear is LINEARGAIN: G(Q) = 100·Q.
+type Linear struct{ Metric Metric }
+
+// Eval implements Function.
+func (g Linear) Eval(q estimate.QualityEstimate) float64 { return 100 * g.Metric.Of(q) }
+
+// MaxGain implements Function.
+func (g Linear) MaxGain() float64 { return 100 }
+
+// Name implements Function.
+func (g Linear) Name() string { return "linear-" + g.Metric.String() }
+
+// Submodular implements Function.
+func (g Linear) Submodular() bool { return g.Metric.Submodular() }
+
+// Quad is QUADGAIN: G(Q) = 100·Q².
+type Quad struct{ Metric Metric }
+
+// Eval implements Function.
+func (g Quad) Eval(q estimate.QualityEstimate) float64 {
+	v := g.Metric.Of(q)
+	return 100 * v * v
+}
+
+// MaxGain implements Function.
+func (g Quad) MaxGain() float64 { return 100 }
+
+// Name implements Function.
+func (g Quad) Name() string { return "quad-" + g.Metric.String() }
+
+// Submodular implements Function.
+func (g Quad) Submodular() bool { return false } // convex composition breaks submodularity
+
+// Step is STEPGAIN: the paper's milestone staircase.
+type Step struct{ Metric Metric }
+
+// Eval implements Function.
+func (g Step) Eval(q estimate.QualityEstimate) float64 {
+	v := g.Metric.Of(q)
+	switch {
+	case v < 0.2:
+		return 100 * v
+	case v < 0.5:
+		return 100 + 100*(v-0.2)
+	case v < 0.7:
+		return 150 + 100*(v-0.5)
+	case v < 0.95:
+		return 200 + 100*(v-0.7)
+	default:
+		return 300 + 100*(v-0.95)
+	}
+}
+
+// MaxGain implements Function.
+func (g Step) MaxGain() float64 { return 305 }
+
+// Name implements Function.
+func (g Step) Name() string { return "step-" + g.Metric.String() }
+
+// Submodular implements Function.
+func (g Step) Submodular() bool { return false } // jumps break submodularity
+
+// Data is DATAGAIN: a fixed dollar gain per covered item,
+// G(SI, t) = PerItem · Cov*(F(SI), t) · E[|Ω|t].
+type Data struct {
+	// PerItem is the gain per covered item; the paper uses $10.
+	PerItem float64
+	// OmegaMax is the largest expected world size over the time points of
+	// interest, used for rescaling.
+	OmegaMax float64
+}
+
+// Eval implements Function.
+func (g Data) Eval(q estimate.QualityEstimate) float64 {
+	return g.PerItem * q.ExpectedCovered
+}
+
+// MaxGain implements Function.
+func (g Data) MaxGain() float64 { return g.PerItem * g.OmegaMax }
+
+// Name implements Function.
+func (g Data) Name() string { return "data" }
+
+// Submodular implements Function.
+func (g Data) Submodular() bool { return true } // linear in the covered-count estimate
+
+// CostModel assigns acquisition costs to candidates following Section 6.1:
+// each item has a base cost (the paper's $10) shared equally among the
+// sources that mention it, a source costs the sum of its items' shares,
+// and acquiring at frequency divisor m discounts to c/(1+m/10).
+type CostModel struct {
+	perCandidate []float64
+	total        float64
+}
+
+// NewSharedItemCost derives the cost model from an estimator's candidates.
+// Mention counts are computed over the distinct underlying sources
+// (divisor-1 candidates).
+func NewSharedItemCost(e *estimate.Estimator, perItem float64) (*CostModel, error) {
+	if perItem <= 0 {
+		return nil, errors.New("gain: perItem must be positive")
+	}
+	n := e.NumCandidates()
+	if n == 0 {
+		return nil, errors.New("gain: estimator has no candidates")
+	}
+	universe := e.Candidate(0).Profile.B.Len()
+
+	// mentions[i] = number of distinct sources holding item i at t0.
+	mentions := make([]int, universe)
+	seen := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		c := e.Candidate(i)
+		if seen[c.SourceIndex] {
+			continue
+		}
+		seen[c.SourceIndex] = true
+		c.Profile.B.ForEach(func(item int) { mentions[item]++ })
+	}
+
+	// Base cost per source, then the per-candidate frequency discount.
+	baseCost := make(map[int]float64)
+	for i := 0; i < n; i++ {
+		c := e.Candidate(i)
+		if _, done := baseCost[c.SourceIndex]; done {
+			continue
+		}
+		var cost float64
+		c.Profile.B.ForEach(func(item int) {
+			cost += perItem / float64(mentions[item])
+		})
+		baseCost[c.SourceIndex] = cost
+	}
+
+	cm := &CostModel{perCandidate: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		c := e.Candidate(i)
+		m := float64(c.Profile.AcqDivisor)
+		cm.perCandidate[i] = baseCost[c.SourceIndex] / (1 + m/10)
+	}
+	// The rescaling denominator: the cost of acquiring every source once at
+	// full frequency.
+	for _, bc := range baseCost {
+		cm.total += bc / 1.1
+	}
+	if cm.total <= 0 {
+		cm.total = 1
+	}
+	return cm, nil
+}
+
+// Cost returns the (unscaled) cost of candidate i.
+func (cm *CostModel) Cost(i int) float64 { return cm.perCandidate[i] }
+
+// SetCost returns the (unscaled) additive cost of a candidate set.
+func (cm *CostModel) SetCost(set []int) float64 {
+	var c float64
+	for _, i := range set {
+		c += cm.perCandidate[i]
+	}
+	return c
+}
+
+// Total returns the rescaling denominator (cost of everything).
+func (cm *CostModel) Total() float64 { return cm.total }
+
+// Profit is the selection objective G(SI, Tf) − C(SI, Tf) of
+// Definitions 3–5, with gain and cost rescaled to [0,1] as in Section 6.1
+// and the overall gain aggregated as the average over the time points of
+// interest. It also enforces the budget βc and counts oracle calls.
+type Profit struct {
+	Est   *estimate.Estimator
+	Ticks []timeline.Tick
+	Gain  Function
+	Cost  *CostModel
+	// CostWeight scales the rescaled cost against the rescaled gain;
+	// 1 reproduces the paper's profit, 0 ignores cost.
+	CostWeight float64
+	// Budget is βc over the rescaled cost; ≤ 0 means unconstrained.
+	Budget float64
+	// Weights optionally turns the Tf aggregate into a non-negative
+	// weighted average (Section 5 allows any non-negative weighting while
+	// preserving submodularity). nil means the plain average. Set via
+	// SetWeights, which validates.
+	weights []float64
+
+	calls int
+}
+
+// SetWeights installs a non-negative weighting over the time points of
+// interest (parallel to Ticks). Weights are normalised to sum to 1.
+func (p *Profit) SetWeights(ws []float64) error {
+	if ws == nil {
+		p.weights = nil
+		return nil
+	}
+	if len(ws) != len(p.Ticks) {
+		return fmt.Errorf("gain: %d weights for %d ticks", len(ws), len(p.Ticks))
+	}
+	var sum float64
+	for _, w := range ws {
+		if w < 0 {
+			return errors.New("gain: negative weight")
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return errors.New("gain: weights sum to zero")
+	}
+	norm := make([]float64, len(ws))
+	for i, w := range ws {
+		norm[i] = w / sum
+	}
+	p.weights = norm
+	return nil
+}
+
+// aggregate combines per-tick gains under the configured weighting.
+func (p *Profit) aggregate(gains []float64) float64 {
+	if p.weights == nil {
+		var g float64
+		for _, v := range gains {
+			g += v
+		}
+		return g / float64(len(gains))
+	}
+	var g float64
+	for i, v := range gains {
+		g += p.weights[i] * v
+	}
+	return g
+}
+
+// NewProfit builds a profit oracle. ticks must be within the estimator's
+// range.
+func NewProfit(e *estimate.Estimator, ticks []timeline.Tick, g Function, c *CostModel) (*Profit, error) {
+	if len(ticks) == 0 {
+		return nil, errors.New("gain: no time points of interest")
+	}
+	for _, t := range ticks {
+		if t < e.T0 || t > e.MaxT {
+			return nil, fmt.Errorf("gain: tick %d outside estimator range [%d,%d]", t, e.T0, e.MaxT)
+		}
+	}
+	return &Profit{Est: e, Ticks: ticks, Gain: g, Cost: c, CostWeight: 1}, nil
+}
+
+// Value implements the value oracle: average rescaled gain over Tf minus
+// rescaled cost.
+func (p *Profit) Value(set []int) float64 {
+	p.calls++
+	qs := p.Est.QualityMulti(set, p.Ticks)
+	gains := make([]float64, len(qs))
+	for i, q := range qs {
+		gains[i] = p.Gain.Eval(q)
+	}
+	g := p.aggregate(gains)
+	if mg := p.Gain.MaxGain(); mg > 0 {
+		g /= mg
+	}
+	var c float64
+	if p.Cost != nil {
+		c = p.CostWeight * p.Cost.SetCost(set) / p.Cost.Total()
+	}
+	return g - c
+}
+
+// GainOnly returns the average rescaled gain of a set (no cost), used for
+// reporting solution quality.
+func (p *Profit) GainOnly(set []int) float64 {
+	qs := p.Est.QualityMulti(set, p.Ticks)
+	gains := make([]float64, len(qs))
+	for i, q := range qs {
+		gains[i] = p.Gain.Eval(q)
+	}
+	g := p.aggregate(gains)
+	if mg := p.Gain.MaxGain(); mg > 0 {
+		g /= mg
+	}
+	return g
+}
+
+// AvgMetric returns the average value of a quality metric over Tf for the
+// set — the "Avg. Qual." columns of Tables 4–6.
+func (p *Profit) AvgMetric(set []int, m Metric) float64 {
+	qs := p.Est.QualityMulti(set, p.Ticks)
+	var v float64
+	for _, q := range qs {
+		v += m.Of(q)
+	}
+	return v / float64(len(qs))
+}
+
+// Feasible reports whether the set respects the budget.
+func (p *Profit) Feasible(set []int) bool {
+	if p.Budget <= 0 || p.Cost == nil {
+		return true
+	}
+	return p.Cost.SetCost(set)/p.Cost.Total() <= p.Budget
+}
+
+// Calls returns the number of oracle evaluations so far.
+func (p *Profit) Calls() int { return p.calls }
+
+// ResetCalls zeroes the oracle-call counter.
+func (p *Profit) ResetCalls() { p.calls = 0 }

@@ -1,0 +1,32 @@
+package histint_test
+
+import (
+	"fmt"
+
+	"freshsource/internal/histint"
+)
+
+// Canonicalisation makes differently-formatted records match exactly.
+func ExampleCanonicalize() {
+	fmt.Println(histint.Canonicalize("  JOE'S-Pizza.  "))
+	fmt.Println(histint.Canonicalize("joes pizza"))
+	// Output:
+	// joe s pizza
+	// joes pizza
+}
+
+// Phone canonicalisation strips formatting and a leading country code.
+func ExampleCanonicalizePhone() {
+	fmt.Println(histint.CanonicalizePhone("1 (555) 123-4567"))
+	// Output: 5551234567
+}
+
+// The exact-match key combines the canonical key attributes.
+func ExampleCanonicalKey() {
+	rec := histint.Record{Attrs: map[string]string{
+		"name":  "JOE'S Pizza",
+		"phone": "(555) 123-4567",
+	}}
+	fmt.Println(histint.CanonicalKey(rec, []string{"name", "phone"}))
+	// Output: joe s pizza|5551234567
+}

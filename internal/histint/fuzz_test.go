@@ -1,0 +1,49 @@
+package histint
+
+import (
+	"strings"
+	"testing"
+)
+
+func FuzzCanonicalize(f *testing.F) {
+	for _, seed := range []string{"", "Business 7", "  A--b  C. ", "ΩΩΩ", "a\tb\nc", strings.Repeat("x", 1000)} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := Canonicalize(s)
+		// Idempotence: canonicalising twice changes nothing.
+		if again := Canonicalize(got); again != got {
+			t.Fatalf("not idempotent: %q -> %q -> %q", s, got, again)
+		}
+		// Output alphabet: lowercase alphanumerics and single spaces, no
+		// leading/trailing space.
+		if strings.TrimSpace(got) != got {
+			t.Fatalf("untrimmed output %q", got)
+		}
+		if strings.Contains(got, "  ") {
+			t.Fatalf("double space in %q", got)
+		}
+		for _, r := range got {
+			if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == ' ') {
+				t.Fatalf("illegal rune %q in %q", r, got)
+			}
+		}
+	})
+}
+
+func FuzzCanonicalizePhone(f *testing.F) {
+	for _, seed := range []string{"", "(555) 123-4567", "1-555-123-4567", "abc", "1234567890123456789"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		got := CanonicalizePhone(s)
+		for _, r := range got {
+			if r < '0' || r > '9' {
+				t.Fatalf("non-digit %q in %q", r, got)
+			}
+		}
+		if again := CanonicalizePhone(got); len(again) > len(got) {
+			t.Fatalf("phone canonicalisation grew: %q -> %q", got, again)
+		}
+	})
+}

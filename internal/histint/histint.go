@@ -1,0 +1,432 @@
+// Package histint implements the history integration step of Section 4.1
+// of the paper: unifying the entity streams of many sources into a single
+// stream describing the evolution of the world.
+//
+// Sources export *records* — attribute maps with source-specific formatting
+// quirks (capitalisation, punctuation, phone formats). The integrator
+// canonicalises records, matches them exactly on a canonical key (the
+// paper's "standard canonicalization and format standardization techniques
+// together with an exact matching algorithm"), clusters matching records
+// into entities, and merges the per-source streams under union semantics
+// into a reconstructed world log. The reconstruction is validated against
+// the simulator's ground truth, playing the role of the paper's gold
+// standard.
+package histint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// Record is one listing exported by a source: a bag of attribute values.
+type Record struct {
+	Source source.ID
+	Attrs  map[string]string
+}
+
+// Canonicalize normalises free-text attribute values: lower-cases, strips
+// punctuation, and collapses whitespace runs.
+func Canonicalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := false
+	for _, r := range strings.ToLower(s) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			b.WriteRune(r)
+			prevSpace = false
+		default:
+			if !prevSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			prevSpace = true
+		}
+	}
+	return strings.TrimSpace(b.String())
+}
+
+// CanonicalizePhone strips everything but digits, dropping a leading
+// country "1" from 11-digit numbers.
+func CanonicalizePhone(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			b.WriteRune(r)
+		}
+	}
+	d := b.String()
+	if len(d) == 11 && d[0] == '1' {
+		d = d[1:]
+	}
+	return d
+}
+
+// CanonicalKey derives the exact-match key of a record from the given key
+// attributes, canonicalising each. Phone-like attributes (whose name
+// contains "phone") get digit canonicalisation.
+func CanonicalKey(r Record, keyAttrs []string) string {
+	parts := make([]string, len(keyAttrs))
+	for i, a := range keyAttrs {
+		v := r.Attrs[a]
+		if strings.Contains(a, "phone") {
+			parts[i] = CanonicalizePhone(v)
+		} else {
+			parts[i] = Canonicalize(v)
+		}
+	}
+	return strings.Join(parts, "|")
+}
+
+// Renderer turns (entity, version) pairs into records with deterministic
+// per-source formatting noise, so that exact matching only succeeds after
+// canonicalisation. The same entity always renders to the same canonical
+// identity; its mutable attribute changes with the version.
+type Renderer struct {
+	w *world.World
+}
+
+// NewRenderer returns a renderer over the world's entities.
+func NewRenderer(w *world.World) *Renderer { return &Renderer{w: w} }
+
+// styles is the pool of formatting quirks assigned (deterministically) to
+// sources.
+func styleOf(src source.ID) int { return int(src) % 4 }
+
+// Render produces the record source src would export for the entity at the
+// given version.
+func (r *Renderer) Render(src source.ID, id timeline.EntityID, version int) Record {
+	e := r.w.Entity(id)
+	name := fmt.Sprintf("Business %d", id)
+	phone := fmt.Sprintf("555%07d", int(id)*13%10000000)
+	addr := fmt.Sprintf("%d Main Street Unit %d", int(id)%9000+1, version)
+	switch styleOf(src) {
+	case 1:
+		name = strings.ToUpper(name) + "."
+		phone = fmt.Sprintf("(%s) %s-%s", phone[:3], phone[3:6], phone[6:])
+	case 2:
+		name = "  " + strings.ToLower(name)
+		phone = "1" + phone
+		addr = strings.ToUpper(addr)
+	case 3:
+		name = strings.ReplaceAll(name, " ", "-")
+		phone = phone[:3] + "." + phone[3:6] + "." + phone[6:]
+	}
+	return Record{
+		Source: src,
+		Attrs: map[string]string{
+			"name":     name,
+			"phone":    phone,
+			"address":  addr,
+			"location": fmt.Sprintf("L%d", e.Point.Location),
+			"category": fmt.Sprintf("C%d", e.Point.Category),
+		},
+	}
+}
+
+// KeyAttrs is the default exact-match key: a business is identified by its
+// canonical name and phone number.
+var KeyAttrs = []string{"name", "phone"}
+
+// ValueAttrs is the default set of mutable attributes whose canonical
+// change constitutes a value update.
+var ValueAttrs = []string{"address"}
+
+// ClusterID identifies a reconstructed entity.
+type ClusterID int
+
+// Result is a reconstructed world evolution.
+type Result struct {
+	// Log is the unified entity stream in cluster-ID space.
+	Log *timeline.Log
+	// Key maps each cluster to its canonical match key.
+	Key []string
+	// Points maps each cluster to its domain point, parsed from the
+	// records' location/category attributes.
+	Points []world.DomainPoint
+	// byKey inverts Key.
+	byKey map[string]ClusterID
+}
+
+// NumClusters returns the number of reconstructed entities.
+func (r *Result) NumClusters() int { return len(r.Key) }
+
+// Cluster returns the cluster for a canonical key.
+func (r *Result) Cluster(key string) (ClusterID, bool) {
+	c, ok := r.byKey[key]
+	return c, ok
+}
+
+// mention is one canonicalised source observation, ready for merging.
+type mention struct {
+	at      timeline.Tick
+	kind    timeline.EventKind
+	cluster ClusterID
+	value   string // canonical fingerprint of the mutable attributes
+}
+
+// Integrate reconstructs the evolution of the world from the capture logs
+// of the given sources, rendered to records by ren. The merge follows union
+// semantics: a cluster appears at the earliest mention across sources,
+// changes value when a previously unseen canonical value surfaces, and
+// disappears at the earliest captured deletion.
+func Integrate(ren *Renderer, srcs []*source.Source) *Result {
+	res := &Result{Log: timeline.NewLog(), byKey: make(map[string]ClusterID)}
+	var mentions []mention
+	for _, s := range srcs {
+		for _, ev := range s.Log().Events() {
+			rec := ren.Render(s.ID(), ev.Entity, ev.Version)
+			key := CanonicalKey(rec, KeyAttrs)
+			cl, ok := res.byKey[key]
+			if !ok {
+				cl = ClusterID(len(res.Key))
+				res.byKey[key] = cl
+				res.Key = append(res.Key, key)
+				res.Points = append(res.Points, parsePoint(rec))
+			}
+			var fp strings.Builder
+			for _, a := range ValueAttrs {
+				fp.WriteString(Canonicalize(rec.Attrs[a]))
+				fp.WriteByte('|')
+			}
+			mentions = append(mentions, mention{at: ev.At, kind: ev.Kind, cluster: cl, value: fp.String()})
+		}
+	}
+	sort.SliceStable(mentions, func(i, j int) bool { return mentions[i].at < mentions[j].at })
+
+	type clusterState struct {
+		seen     bool
+		deleted  bool
+		values   map[string]bool
+		versions int
+	}
+	states := make([]clusterState, len(res.Key))
+	for _, m := range mentions {
+		st := &states[m.cluster]
+		switch m.kind {
+		case timeline.Appear, timeline.Update:
+			if st.deleted {
+				// A stale re-mention after an integrated deletion is noise,
+				// not a rebirth.
+				continue
+			}
+			if !st.seen {
+				st.seen = true
+				st.values = map[string]bool{m.value: true}
+				res.Log.Append(timeline.Event{Entity: timeline.EntityID(m.cluster), Kind: timeline.Appear, At: m.at})
+				continue
+			}
+			if !st.values[m.value] {
+				st.values[m.value] = true
+				st.versions++
+				res.Log.Append(timeline.Event{Entity: timeline.EntityID(m.cluster), Kind: timeline.Update, At: m.at, Version: st.versions})
+			}
+		case timeline.Disappear:
+			if st.seen && !st.deleted {
+				st.deleted = true
+				res.Log.Append(timeline.Event{Entity: timeline.EntityID(m.cluster), Kind: timeline.Disappear, At: m.at, Version: st.versions})
+			}
+		}
+	}
+	return res
+}
+
+// parsePoint extracts the domain point from a record's location/category
+// attributes (formatted "L<loc>"/"C<cat>" by the renderer and by external
+// exporters following the same convention).
+func parsePoint(rec Record) world.DomainPoint {
+	var p world.DomainPoint
+	if v := rec.Attrs["location"]; len(v) > 1 {
+		fmt.Sscanf(v, "L%d", &p.Location)
+	}
+	if v := rec.Attrs["category"]; len(v) > 1 {
+		fmt.Sscanf(v, "C%d", &p.Category)
+	}
+	return p
+}
+
+// ToWorld converts the reconstruction into a world.World so the profilers
+// and estimators can train on integrated history instead of ground truth —
+// the pipeline a real deployment runs (the simulator's true world is only
+// a gold standard for validation). Reconstructed entities get full
+// visibility. The returned slice maps each ClusterID to its entity ID in
+// the new world, or -1 for clusters that never produced an appearance
+// (possible with external data); pass it to RekeySource.
+func (r *Result) ToWorld(horizon timeline.Tick) (*world.World, []timeline.EntityID, error) {
+	entities := make([]world.Entity, r.NumClusters())
+	for cl := range entities {
+		entities[cl] = world.Entity{
+			ID:         timeline.EntityID(cl),
+			Point:      r.Points[cl],
+			Born:       -1,
+			Died:       -1,
+			Visibility: 1,
+		}
+	}
+	for _, ev := range r.Log.Events() {
+		e := &entities[int(ev.Entity)]
+		switch ev.Kind {
+		case timeline.Appear:
+			e.Born = ev.At
+		case timeline.Update:
+			// At daily granularity, value changes colliding with the
+			// birth tick or with an earlier change the same day collapse.
+			prev := e.Born
+			if n := len(e.Updates); n > 0 {
+				prev = e.Updates[n-1]
+			}
+			if ev.At > prev {
+				e.Updates = append(e.Updates, ev.At)
+			}
+		case timeline.Disappear:
+			if ev.At > e.Born {
+				e.Died = ev.At
+			}
+		}
+	}
+	// Drop update ticks recorded at or after death (possible when a stale
+	// value surfaced in one source the day another source deleted), and
+	// drop clusters that never produced an Appear (a lone deletion
+	// mention), renumbering densely.
+	idOf := make([]timeline.EntityID, len(entities))
+	kept := entities[:0]
+	for i := range entities {
+		e := entities[i]
+		if e.Born < 0 {
+			idOf[i] = -1
+			continue
+		}
+		if e.Died >= 0 {
+			updates := e.Updates[:0]
+			for _, u := range e.Updates {
+				if u < e.Died {
+					updates = append(updates, u)
+				}
+			}
+			e.Updates = updates
+		}
+		e.ID = timeline.EntityID(len(kept))
+		idOf[i] = e.ID
+		kept = append(kept, e)
+	}
+	w, err := world.FromEntities(kept, horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	return w, idOf, nil
+}
+
+// RekeySource rewrites a source's capture log from true entity IDs into the
+// reconstructed world's entity space (idOf from ToWorld), producing a
+// source usable against that world. Events for entities whose cluster is
+// unknown or was dropped are skipped.
+func RekeySource(ren *Renderer, res *Result, idOf []timeline.EntityID, s *source.Source) (*source.Source, error) {
+	var events []timeline.Event
+	cache := make(map[timeline.EntityID]timeline.EntityID)
+	for _, ev := range s.Log().Events() {
+		id, ok := cache[ev.Entity]
+		if !ok {
+			key := CanonicalKey(ren.Render(s.ID(), ev.Entity, 0), KeyAttrs)
+			cl, found := res.Cluster(key)
+			if !found || idOf[int(cl)] < 0 {
+				continue
+			}
+			id = idOf[int(cl)]
+			cache[ev.Entity] = id
+		}
+		events = append(events, timeline.Event{
+			Entity: id, Kind: ev.Kind, At: ev.At, Version: ev.Version,
+		})
+	}
+	return source.FromLog(s.ID(), s.Spec(), s.Horizon(), events)
+}
+
+// Validation compares a reconstruction with the simulator's ground truth —
+// the role of the paper's gold standard.
+type Validation struct {
+	// TrueEntities is the number of world entities mentioned by at least
+	// one source (the recoverable population).
+	TrueEntities int
+	// Clusters is the number of reconstructed entities.
+	Clusters int
+	// Matched counts clusters whose key corresponds to exactly one world
+	// entity.
+	Matched int
+	// AppearLagMean is the mean lag (ticks) between true birth and
+	// reconstructed appearance over matched clusters.
+	AppearLagMean float64
+	// DisappearLagMean is the mean lag for captured disappearances.
+	DisappearLagMean float64
+}
+
+// Validate matches clusters back to world entities via the renderer's
+// canonical identity and measures reconstruction quality.
+func Validate(ren *Renderer, w *world.World, srcs []*source.Source, res *Result) Validation {
+	// Which entities were mentioned at all?
+	mentioned := make(map[timeline.EntityID]bool)
+	for _, s := range srcs {
+		for _, ev := range s.Log().Events() {
+			mentioned[ev.Entity] = true
+		}
+	}
+	v := Validation{TrueEntities: len(mentioned), Clusters: res.NumClusters()}
+
+	// The renderer's identity is source-independent after canonicalisation,
+	// so rendering with any style yields the entity's canonical key.
+	keyToEntity := make(map[string]timeline.EntityID, len(mentioned))
+	for id := range mentioned {
+		key := CanonicalKey(ren.Render(0, id, 0), KeyAttrs)
+		keyToEntity[key] = id
+	}
+
+	// Index reconstruction events by cluster so validation is linear.
+	type clusterEvents struct {
+		appear    timeline.Tick
+		hasAppear bool
+		disappear timeline.Tick
+		hasDis    bool
+	}
+	byCluster := make([]clusterEvents, res.NumClusters())
+	for _, ev := range res.Log.Events() {
+		ce := &byCluster[int(ev.Entity)]
+		switch ev.Kind {
+		case timeline.Appear:
+			ce.appear, ce.hasAppear = ev.At, true
+		case timeline.Disappear:
+			ce.disappear, ce.hasDis = ev.At, true
+		}
+	}
+
+	var appearLagSum float64
+	var appearN int
+	var disLagSum float64
+	var disN int
+	for cl, key := range res.Key {
+		id, ok := keyToEntity[key]
+		if !ok {
+			continue
+		}
+		v.Matched++
+		e := w.Entity(id)
+		ce := byCluster[cl]
+		if ce.hasAppear {
+			appearLagSum += float64(ce.appear - e.Born)
+			appearN++
+		}
+		if ce.hasDis && e.Died >= 0 {
+			disLagSum += float64(ce.disappear - e.Died)
+			disN++
+		}
+	}
+	if appearN > 0 {
+		v.AppearLagMean = appearLagSum / float64(appearN)
+	}
+	if disN > 0 {
+		v.DisappearLagMean = disLagSum / float64(disN)
+	}
+	return v
+}

@@ -1,0 +1,246 @@
+package histint
+
+import (
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func TestCanonicalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Business 7", "business 7"},
+		{"  BUSINESS-7.  ", "business 7"},
+		{"business---7", "business 7"},
+		{"", ""},
+		{"...", ""},
+		{"A  b\tC", "a b c"},
+	}
+	for _, c := range cases {
+		if got := Canonicalize(c.in); got != c.want {
+			t.Errorf("Canonicalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalizePhone(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"(555) 123-4567", "5551234567"},
+		{"555.123.4567", "5551234567"},
+		{"15551234567", "5551234567"},
+		{"5551234567", "5551234567"},
+		{"12345", "12345"},
+	}
+	for _, c := range cases {
+		if got := CanonicalizePhone(c.in); got != c.want {
+			t.Errorf("CanonicalizePhone(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestCanonicalKeyStyleInvariance(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	// All four source styles must canonicalise to the same key.
+	base := CanonicalKey(ren.Render(0, 5, 0), KeyAttrs)
+	for src := source.ID(1); src < 4; src++ {
+		if got := CanonicalKey(ren.Render(src, 5, 0), KeyAttrs); got != base {
+			t.Errorf("style %d key %q != base %q", src, got, base)
+		}
+	}
+	// Different entities get different keys.
+	if CanonicalKey(ren.Render(0, 6, 0), KeyAttrs) == base {
+		t.Error("distinct entities share a key")
+	}
+	// Versions change the value attributes but not the key.
+	if CanonicalKey(ren.Render(0, 5, 3), KeyAttrs) != base {
+		t.Error("version changed the match key")
+	}
+	v0 := Canonicalize(ren.Render(0, 5, 0).Attrs["address"])
+	v1 := Canonicalize(ren.Render(0, 5, 1).Attrs["address"])
+	if v0 == v1 {
+		t.Error("version did not change the value attribute")
+	}
+}
+
+func testWorld(t *testing.T) *world.World {
+	t.Helper()
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 250, LambdaAppear: 2, GammaDisappear: 0.01, GammaUpdate: 0.02},
+		},
+		Horizon: 200,
+		Seed:    31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func observe(t *testing.T, w *world.World, id source.ID, insProb, delProb float64, seed int64) *source.Source {
+	t.Helper()
+	s, err := source.Observe(w, id, source.Spec{
+		Name:           "s",
+		UpdateInterval: 1,
+		Points:         w.Points(),
+		Insert:         source.CaptureSpec{Prob: insProb, Delay: source.ExponentialDelay{Rate: 0.5}},
+		Delete:         source.CaptureSpec{Prob: delProb, Delay: source.ExponentialDelay{Rate: 0.5}},
+		Update:         source.CaptureSpec{Prob: 0.8, Delay: source.ExponentialDelay{Rate: 0.5}},
+	}, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestIntegrateClustersAcrossStyles(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	// Three sources with different formatting styles, each missing some
+	// entities.
+	srcs := []*source.Source{
+		observe(t, w, 0, 0.7, 0.5, 1),
+		observe(t, w, 1, 0.7, 0.5, 2),
+		observe(t, w, 2, 0.7, 0.5, 3),
+	}
+	res := Integrate(ren, srcs)
+
+	// Count distinct mentioned entities.
+	mentioned := map[timeline.EntityID]bool{}
+	for _, s := range srcs {
+		for _, ev := range s.Log().Events() {
+			mentioned[ev.Entity] = true
+		}
+	}
+	if res.NumClusters() != len(mentioned) {
+		t.Errorf("clusters = %d, mentioned entities = %d (exact matching after canonicalisation should be 1:1)",
+			res.NumClusters(), len(mentioned))
+	}
+}
+
+func TestIntegrateAppearIsEarliestMention(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	srcs := []*source.Source{
+		observe(t, w, 0, 0.9, 0.5, 4),
+		observe(t, w, 1, 0.9, 0.5, 5),
+	}
+	res := Integrate(ren, srcs)
+
+	// For each cluster, the reconstructed Appear must equal the earliest
+	// source insertion of the underlying entity.
+	earliest := map[string]timeline.Tick{}
+	for _, s := range srcs {
+		for _, ev := range s.Log().Events() {
+			if ev.Kind != timeline.Appear {
+				continue
+			}
+			key := CanonicalKey(ren.Render(s.ID(), ev.Entity, 0), KeyAttrs)
+			if cur, ok := earliest[key]; !ok || ev.At < cur {
+				earliest[key] = ev.At
+			}
+		}
+	}
+	for _, ev := range res.Log.Events() {
+		if ev.Kind != timeline.Appear {
+			continue
+		}
+		key := res.Key[int(ev.Entity)]
+		if want, ok := earliest[key]; ok && ev.At != want {
+			t.Errorf("cluster %d appear at %d, earliest mention %d", ev.Entity, ev.At, want)
+		}
+	}
+}
+
+func TestIntegrateReconstructionQuality(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	srcs := []*source.Source{
+		observe(t, w, 0, 0.9, 0.7, 6),
+		observe(t, w, 1, 0.9, 0.7, 7),
+		observe(t, w, 2, 0.9, 0.7, 8),
+	}
+	res := Integrate(ren, srcs)
+	v := Validate(ren, w, srcs, res)
+	if v.Matched != v.Clusters {
+		t.Errorf("matched %d of %d clusters", v.Matched, v.Clusters)
+	}
+	if v.Clusters != v.TrueEntities {
+		t.Errorf("clusters %d != recoverable entities %d", v.Clusters, v.TrueEntities)
+	}
+	if v.AppearLagMean < 0 {
+		t.Errorf("appear lag mean %v negative", v.AppearLagMean)
+	}
+	if v.AppearLagMean > 5 {
+		t.Errorf("appear lag mean %v implausibly large for prompt sources", v.AppearLagMean)
+	}
+	if v.DisappearLagMean < 0 {
+		t.Errorf("disappear lag %v negative", v.DisappearLagMean)
+	}
+}
+
+func TestIntegrateValueChangesBecomeUpdates(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	srcs := []*source.Source{observe(t, w, 0, 1, 1, 9)}
+	res := Integrate(ren, srcs)
+	updates := 0
+	for _, ev := range res.Log.Events() {
+		if ev.Kind == timeline.Update {
+			updates++
+			if ev.Version < 1 {
+				t.Fatalf("update with version %d", ev.Version)
+			}
+		}
+	}
+	if updates == 0 {
+		t.Error("no updates reconstructed despite world value changes")
+	}
+}
+
+func TestIntegrateDeletionStopsMentions(t *testing.T) {
+	// After an integrated deletion, later stale mentions must not revive
+	// the cluster.
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	// One prompt deleter and one slow, stale source.
+	fast := observe(t, w, 0, 1, 1, 10)
+	slowSpec := source.Spec{
+		Name:           "slow",
+		UpdateInterval: 1,
+		Points:         w.Points(),
+		Insert:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 40}},
+		Delete:         source.CaptureSpec{Prob: 0},
+		Update:         source.CaptureSpec{Prob: 0},
+	}
+	slow, err := source.Observe(w, 1, slowSpec, stats.NewRNG(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Integrate(ren, []*source.Source{fast, slow})
+	// Replay: count Appear-after-Disappear violations per cluster.
+	dead := map[timeline.EntityID]bool{}
+	for _, ev := range res.Log.Events() {
+		switch ev.Kind {
+		case timeline.Disappear:
+			dead[ev.Entity] = true
+		case timeline.Appear, timeline.Update:
+			if dead[ev.Entity] {
+				t.Fatalf("cluster %d revived after deletion at tick %d", ev.Entity, ev.At)
+			}
+		}
+	}
+}
+
+func TestValidateEmptySources(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	res := Integrate(ren, nil)
+	v := Validate(ren, w, nil, res)
+	if v.TrueEntities != 0 || v.Clusters != 0 || v.Matched != 0 {
+		t.Errorf("empty validation = %+v", v)
+	}
+}

@@ -1,0 +1,74 @@
+package metrics
+
+import (
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+var benchFixture struct {
+	w    *world.World
+	srcs []*source.Source
+}
+
+func getBenchFixture(b *testing.B) (*world.World, []*source.Source) {
+	b.Helper()
+	if benchFixture.w != nil {
+		return benchFixture.w, benchFixture.srcs
+	}
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 3000, LambdaAppear: 8, GammaDisappear: 0.008, GammaUpdate: 0.02},
+		},
+		Horizon: 400,
+		Seed:    7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var srcs []*source.Source
+	for i := 0; i < 10; i++ {
+		s, err := source.Observe(w, source.ID(i), source.Spec{
+			Name:           "b",
+			UpdateInterval: 1,
+			Points:         w.Points(),
+			Insert:         source.CaptureSpec{Prob: 0.6, Delay: source.ExponentialDelay{Rate: 0.3}},
+			Delete:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+			Update:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+		}, stats.NewRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs = append(srcs, s)
+	}
+	benchFixture.w, benchFixture.srcs = w, srcs
+	return w, srcs
+}
+
+// BenchmarkQualitySeries measures the ground-truth sweep used by the
+// figure experiments: a 10-source union over 40 sampled ticks.
+func BenchmarkQualitySeries(b *testing.B) {
+	w, srcs := getBenchFixture(b)
+	var ticks []timeline.Tick
+	for t := timeline.Tick(0); t < w.Horizon(); t += 10 {
+		ticks = append(ticks, t)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		QualitySeries(w, srcs, ticks, nil)
+	}
+}
+
+// BenchmarkFusionAdvance isolates the union-semantics event sweep.
+func BenchmarkFusionAdvance(b *testing.B) {
+	w, srcs := getBenchFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f := NewFusion(w, srcs, nil)
+		f.AdvanceTo(w.Horizon() - 1)
+		f.Counts()
+	}
+}

@@ -1,0 +1,281 @@
+// Package metrics computes the ground-truth time-dependent quality of
+// sources and integration results (Section 3 of the paper): the entries of
+// a source or fused result at a tick are partitioned into up-to-date,
+// out-of-date and non-deleted entries by comparison with the world, and the
+// partition yields coverage (Eq. 1), local freshness (Eq. 2), global
+// freshness (Eq. 3) and accuracy (Eq. 4–5).
+//
+// Integration follows the union semantics of Section 2.3: an entity is in
+// the integration result when at least one selected source has inserted it
+// and no selected source has captured its disappearance; conflicting
+// references are resolved in favour of the most recent one (the highest
+// captured version). A captured deletion is treated as permanent — the
+// paper's deletion estimator (Eq. 10) counts a disappearance as captured by
+// the set when any mentioning source captures it.
+package metrics
+
+import (
+	"sort"
+
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// Counts is the Up / Out / NDel partition of an integration result at a
+// tick (Section 3).
+type Counts struct {
+	// Up counts entries that exist in the world and whose latest world
+	// version is reflected.
+	Up int
+	// Out counts entries that exist in the world but whose latest value
+	// changes are missing.
+	Out int
+	// NDel counts entries whose entity has disappeared from the world.
+	NDel int
+}
+
+// Total returns the size of the integration result |F(SI)|.
+func (c Counts) Total() int { return c.Up + c.Out + c.NDel }
+
+// Quality is the full quality vector of an integration result at a tick.
+type Quality struct {
+	Counts
+	// WorldSize is |Ω|t for the queried subdomain.
+	WorldSize int
+	// Coverage is Eq. 1: (Up+Out)/|Ω|t.
+	Coverage float64
+	// LocalFreshness is Eq. 2: Up/|F|.
+	LocalFreshness float64
+	// GlobalFreshness is Eq. 3: Up/|Ω|t.
+	GlobalFreshness float64
+	// Accuracy is Eq. 4: Up/|F ∪ Ω|t.
+	Accuracy float64
+}
+
+func qualityFrom(c Counts, worldSize int) Quality {
+	q := Quality{Counts: c, WorldSize: worldSize}
+	if worldSize > 0 {
+		q.Coverage = float64(c.Up+c.Out) / float64(worldSize)
+		q.GlobalFreshness = float64(c.Up) / float64(worldSize)
+	}
+	if t := c.Total(); t > 0 {
+		q.LocalFreshness = float64(c.Up) / float64(t)
+	}
+	// |F ∪ Ω| = |F| + |Ω| − |F ∩ Ω| = |F| + |Ω| − (Up+Out).
+	if denom := c.Total() + worldSize - (c.Up + c.Out); denom > 0 {
+		q.Accuracy = float64(c.Up) / float64(denom)
+	}
+	return q
+}
+
+// AccuracyFromComponents computes accuracy from coverage and the freshness
+// pair via Eq. 5 of the paper; it is used by the estimators, and tested
+// against the direct Eq. 4 computation.
+func AccuracyFromComponents(cov, lf, gf float64) float64 {
+	if lf <= 0 || gf <= 0 {
+		return 0
+	}
+	denom := 1 - cov + gf/lf
+	if denom <= 0 {
+		return 0
+	}
+	return gf / denom
+}
+
+// Fusion is an incremental union-semantics view over a set of sources,
+// swept forward in time. It merges the capture logs of the selected sources
+// and maintains, per entity: the highest captured version, whether the
+// entity has been inserted, and whether any source captured its deletion.
+type Fusion struct {
+	w      *world.World
+	events []timeline.Event
+	pos    int
+	now    timeline.Tick
+
+	version  map[timeline.EntityID]int
+	inserted map[timeline.EntityID]bool
+	deleted  map[timeline.EntityID]bool
+	inPts    func(world.DomainPoint) bool
+}
+
+// NewFusion builds a fusion over the given sources, restricted to the given
+// domain points (nil means the whole domain). The fusion starts before tick
+// 0; call AdvanceTo to move it forward.
+func NewFusion(w *world.World, srcs []*source.Source, pts []world.DomainPoint) *Fusion {
+	f := &Fusion{
+		w:        w,
+		now:      -1,
+		version:  make(map[timeline.EntityID]int),
+		inserted: make(map[timeline.EntityID]bool),
+		deleted:  make(map[timeline.EntityID]bool),
+		inPts:    pointFilter(pts),
+	}
+	total := 0
+	for _, s := range srcs {
+		total += s.Log().Len()
+	}
+	f.events = make([]timeline.Event, 0, total)
+	for _, s := range srcs {
+		for _, e := range s.Log().Events() {
+			if f.inPts(w.Entity(e.Entity).Point) {
+				f.events = append(f.events, e)
+			}
+		}
+	}
+	sort.Slice(f.events, func(i, j int) bool { return f.events[i].At < f.events[j].At })
+	return f
+}
+
+func pointFilter(pts []world.DomainPoint) func(world.DomainPoint) bool {
+	if pts == nil {
+		return func(world.DomainPoint) bool { return true }
+	}
+	set := make(map[world.DomainPoint]bool, len(pts))
+	for _, p := range pts {
+		set[p] = true
+	}
+	return func(p world.DomainPoint) bool { return set[p] }
+}
+
+// AdvanceTo applies all captured events with At ≤ t. It panics when moving
+// backwards.
+func (f *Fusion) AdvanceTo(t timeline.Tick) {
+	if t < f.now {
+		panic("metrics: fusion moved backwards")
+	}
+	for f.pos < len(f.events) && f.events[f.pos].At <= t {
+		e := f.events[f.pos]
+		f.pos++
+		switch e.Kind {
+		case timeline.Appear, timeline.Update:
+			f.inserted[e.Entity] = true
+			if e.Version > f.version[e.Entity] {
+				f.version[e.Entity] = e.Version
+			}
+		case timeline.Disappear:
+			f.deleted[e.Entity] = true
+		}
+	}
+	f.now = t
+}
+
+// Counts classifies the fusion's content against the world at the fusion's
+// current tick.
+func (f *Fusion) Counts() Counts {
+	var c Counts
+	t := f.now
+	for id := range f.inserted {
+		if f.deleted[id] {
+			continue
+		}
+		e := f.w.Entity(id)
+		wv, alive := e.VersionAt(t)
+		switch {
+		case !alive:
+			c.NDel++
+		case f.version[id] >= wv:
+			c.Up++
+		default:
+			c.Out++
+		}
+	}
+	return c
+}
+
+// Contains reports whether the entity is in the integration result at the
+// fusion's current tick.
+func (f *Fusion) Contains(id timeline.EntityID) bool {
+	return f.inserted[id] && !f.deleted[id]
+}
+
+// Now returns the fusion's current tick.
+func (f *Fusion) Now() timeline.Tick { return f.now }
+
+// QualityAt computes the full quality vector of integrating srcs at tick t,
+// restricted to pts (nil = whole domain). For repeated evaluation over many
+// ticks use QualitySeries, which sweeps incrementally.
+func QualityAt(w *world.World, srcs []*source.Source, t timeline.Tick, pts []world.DomainPoint) Quality {
+	f := NewFusion(w, srcs, pts)
+	f.AdvanceTo(t)
+	return qualityFrom(f.Counts(), aliveCount(w, t, pts))
+}
+
+// QualitySeries computes the quality vector at each tick of ticks
+// (which must be non-decreasing), sweeping the fusion forward once.
+func QualitySeries(w *world.World, srcs []*source.Source, ticks []timeline.Tick, pts []world.DomainPoint) []Quality {
+	f := NewFusion(w, srcs, pts)
+	out := make([]Quality, len(ticks))
+	for i, t := range ticks {
+		f.AdvanceTo(t)
+		out[i] = qualityFrom(f.Counts(), aliveCount(w, t, pts))
+	}
+	return out
+}
+
+func aliveCount(w *world.World, t timeline.Tick, pts []world.DomainPoint) int {
+	return w.AliveCount(t, pts)
+}
+
+// Ticks returns the inclusive integer range [lo, hi] as a tick slice —
+// a convenience for building timeline series.
+func Ticks(lo, hi timeline.Tick) []timeline.Tick {
+	if hi < lo {
+		return nil
+	}
+	out := make([]timeline.Tick, 0, int(hi-lo)+1)
+	for t := lo; t <= hi; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// AverageFreshness returns the mean local freshness of a single source over
+// the ticks — the y-axis of Figure 1(a).
+func AverageFreshness(w *world.World, s *source.Source, ticks []timeline.Tick) float64 {
+	qs := QualitySeries(w, []*source.Source{s}, ticks, nil)
+	var sum float64
+	for _, q := range qs {
+		sum += q.LocalFreshness
+	}
+	if len(qs) == 0 {
+		return 0
+	}
+	return sum / float64(len(qs))
+}
+
+// DelayStats summarises how timely a source reports appearances — the axes
+// of Figure 1(d): the average delay of delayed items (in ticks) and the
+// fraction of captured items that were delayed (reported one tick or more
+// after occurrence).
+type DelayStats struct {
+	AvgDelay        float64
+	FractionDelayed float64
+	Captured        int
+}
+
+// InsertionDelayStats computes DelayStats for a source from its capture log
+// and the world's ground truth.
+func InsertionDelayStats(w *world.World, s *source.Source) DelayStats {
+	var delayed, captured int
+	var sumDelay float64
+	for _, e := range s.Log().Events() {
+		if e.Kind != timeline.Appear {
+			continue
+		}
+		captured++
+		d := e.At - w.Entity(e.Entity).Born
+		if d >= 1 {
+			delayed++
+			sumDelay += float64(d)
+		}
+	}
+	st := DelayStats{Captured: captured}
+	if delayed > 0 {
+		st.AvgDelay = sumDelay / float64(delayed)
+	}
+	if captured > 0 {
+		st.FractionDelayed = float64(delayed) / float64(captured)
+	}
+	return st
+}

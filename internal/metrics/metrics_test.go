@@ -1,0 +1,297 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func testWorld(t *testing.T) *world.World {
+	t.Helper()
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 400, LambdaAppear: 2, GammaDisappear: 0.01, GammaUpdate: 0.03},
+			{Point: world.DomainPoint{Location: 1, Category: 0}, InitialEntities: 300, LambdaAppear: 1.5, GammaDisappear: 0.015, GammaUpdate: 0.02},
+		},
+		Horizon: 250,
+		Seed:    21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func mustObserve(t *testing.T, w *world.World, id source.ID, spec source.Spec, seed int64) *source.Source {
+	t.Helper()
+	s, err := source.Observe(w, id, spec, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func perfect(pts []world.DomainPoint) source.Spec {
+	return source.Spec{
+		Name:           "perfect",
+		UpdateInterval: 1,
+		Points:         pts,
+		Insert:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+		Delete:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+		Update:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+	}
+}
+
+func TestPerfectSourceHasPerfectQuality(t *testing.T) {
+	w := testWorld(t)
+	s := mustObserve(t, w, 0, perfect(w.Points()), 1)
+	for _, at := range []timeline.Tick{0, 50, 249} {
+		q := QualityAt(w, []*source.Source{s}, at, nil)
+		if q.Coverage != 1 || q.LocalFreshness != 1 || q.GlobalFreshness != 1 || q.Accuracy != 1 {
+			t.Errorf("tick %d: perfect source quality = %+v", at, q)
+		}
+		if q.Out != 0 || q.NDel != 0 {
+			t.Errorf("tick %d: perfect source has Out=%d NDel=%d", at, q.Out, q.NDel)
+		}
+		if q.Up != w.AliveCount(at, nil) {
+			t.Errorf("tick %d: Up=%d, world=%d", at, q.Up, w.AliveCount(at, nil))
+		}
+	}
+}
+
+func TestEmptySourceSetQuality(t *testing.T) {
+	w := testWorld(t)
+	q := QualityAt(w, nil, 100, nil)
+	if q.Coverage != 0 || q.Total() != 0 || q.Accuracy != 0 {
+		t.Errorf("empty set quality = %+v", q)
+	}
+}
+
+func TestStaleSourceAccumulatesNDel(t *testing.T) {
+	w := testWorld(t)
+	spec := perfect(w.Points())
+	spec.Delete.Prob = 0
+	s := mustObserve(t, w, 0, spec, 2)
+	at := w.Horizon() - 1
+	q := QualityAt(w, []*source.Source{s}, at, nil)
+	if q.NDel == 0 {
+		t.Error("expected non-deleted entries")
+	}
+	if q.LocalFreshness >= 1 {
+		t.Error("local freshness should drop below 1 with stale entries")
+	}
+	// Coverage only counts world-alive entities, so it stays 1.
+	if q.Coverage != 1 {
+		t.Errorf("coverage = %v, want 1", q.Coverage)
+	}
+}
+
+func TestLaggySourceHasOutOfDate(t *testing.T) {
+	w := testWorld(t)
+	spec := perfect(w.Points())
+	spec.Update.Prob = 0.3
+	s := mustObserve(t, w, 0, spec, 3)
+	q := QualityAt(w, []*source.Source{s}, w.Horizon()-1, nil)
+	if q.Out == 0 {
+		t.Error("expected out-of-date entries with missed updates")
+	}
+	if q.GlobalFreshness >= q.Coverage {
+		t.Error("GF must be below coverage when entries are stale")
+	}
+}
+
+func TestUnionImprovesCoverage(t *testing.T) {
+	w := testWorld(t)
+	spec1 := perfect(w.Points())
+	spec1.Insert.Prob = 0.5
+	spec2 := perfect(w.Points())
+	spec2.Insert.Prob = 0.5
+	s1 := mustObserve(t, w, 0, spec1, 4)
+	s2 := mustObserve(t, w, 1, spec2, 5)
+	at := timeline.Tick(200)
+	q1 := QualityAt(w, []*source.Source{s1}, at, nil)
+	q2 := QualityAt(w, []*source.Source{s2}, at, nil)
+	q12 := QualityAt(w, []*source.Source{s1, s2}, at, nil)
+	if q12.Coverage <= q1.Coverage || q12.Coverage <= q2.Coverage {
+		t.Errorf("union coverage %v not above singletons %v, %v", q12.Coverage, q1.Coverage, q2.Coverage)
+	}
+	// Rough independence check: 1-(1-p)² ≈ 0.75.
+	if math.Abs(q12.Coverage-0.75) > 0.05 {
+		t.Errorf("union coverage = %v, want ≈ 0.75", q12.Coverage)
+	}
+}
+
+func TestDeletionPropagatesAcrossSources(t *testing.T) {
+	w := testWorld(t)
+	// Source A never deletes; source B captures deletions promptly.
+	specA := perfect(w.Points())
+	specA.Delete.Prob = 0
+	specB := perfect(w.Points())
+	sA := mustObserve(t, w, 0, specA, 6)
+	sB := mustObserve(t, w, 1, specB, 7)
+	at := w.Horizon() - 1
+	qA := QualityAt(w, []*source.Source{sA}, at, nil)
+	qAB := QualityAt(w, []*source.Source{sA, sB}, at, nil)
+	if qA.NDel == 0 {
+		t.Fatal("precondition: A alone must have stale entries")
+	}
+	if qAB.NDel != 0 {
+		t.Errorf("B's deletions must clean the union, NDel = %d", qAB.NDel)
+	}
+}
+
+func TestConflictResolutionTakesNewestVersion(t *testing.T) {
+	w := testWorld(t)
+	fresh := perfect(w.Points())
+	stale := perfect(w.Points())
+	stale.Update.Prob = 0
+	sFresh := mustObserve(t, w, 0, fresh, 8)
+	sStale := mustObserve(t, w, 1, stale, 9)
+	at := w.Horizon() - 1
+	q := QualityAt(w, []*source.Source{sStale, sFresh}, at, nil)
+	if q.Out != 0 {
+		t.Errorf("union with a perfect source should have no out-of-date entries, got %d", q.Out)
+	}
+}
+
+func TestQualitySeriesMatchesPointQueries(t *testing.T) {
+	w := testWorld(t)
+	spec := perfect(w.Points())
+	spec.Insert.Prob = 0.8
+	spec.Delete.Prob = 0.5
+	spec.Update.Prob = 0.6
+	s := mustObserve(t, w, 0, spec, 10)
+	ticks := []timeline.Tick{10, 60, 110, 200}
+	series := QualitySeries(w, []*source.Source{s}, ticks, nil)
+	for i, at := range ticks {
+		pt := QualityAt(w, []*source.Source{s}, at, nil)
+		if series[i] != pt {
+			t.Errorf("series[%d] = %+v, point query = %+v", i, series[i], pt)
+		}
+	}
+}
+
+func TestDomainRestriction(t *testing.T) {
+	w := testWorld(t)
+	p0 := world.DomainPoint{Location: 0, Category: 0}
+	p1 := world.DomainPoint{Location: 1, Category: 0}
+	s := mustObserve(t, w, 0, perfect(w.Points()), 11)
+	at := timeline.Tick(100)
+	q0 := QualityAt(w, []*source.Source{s}, at, []world.DomainPoint{p0})
+	q1 := QualityAt(w, []*source.Source{s}, at, []world.DomainPoint{p1})
+	qAll := QualityAt(w, []*source.Source{s}, at, nil)
+	if q0.Up+q1.Up != qAll.Up {
+		t.Errorf("restricted Up %d+%d != total %d", q0.Up, q1.Up, qAll.Up)
+	}
+	if q0.WorldSize+q1.WorldSize != qAll.WorldSize {
+		t.Error("restricted world sizes don't sum")
+	}
+}
+
+func TestAccuracyEquationFiveConsistency(t *testing.T) {
+	// Eq. 5 must agree with the direct Eq. 4 computation.
+	w := testWorld(t)
+	spec := perfect(w.Points())
+	spec.Insert.Prob = 0.7
+	spec.Update.Prob = 0.4
+	spec.Delete.Prob = 0.2
+	s := mustObserve(t, w, 0, spec, 12)
+	for _, at := range []timeline.Tick{50, 150, 249} {
+		q := QualityAt(w, []*source.Source{s}, at, nil)
+		viaEq5 := AccuracyFromComponents(q.Coverage, q.LocalFreshness, q.GlobalFreshness)
+		if math.Abs(viaEq5-q.Accuracy) > 1e-9 {
+			t.Errorf("tick %d: Eq5 accuracy %v != direct %v", at, viaEq5, q.Accuracy)
+		}
+	}
+}
+
+func TestAccuracyFromComponentsEdgeCases(t *testing.T) {
+	if AccuracyFromComponents(0.5, 0, 0) != 0 {
+		t.Error("zero freshness should give zero accuracy")
+	}
+	if got := AccuracyFromComponents(1, 1, 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect components give accuracy %v", got)
+	}
+}
+
+func TestCoverageMonotoneInSources(t *testing.T) {
+	w := testWorld(t)
+	var srcs []*source.Source
+	for i := 0; i < 4; i++ {
+		spec := perfect(w.Points())
+		spec.Insert.Prob = 0.4
+		srcs = append(srcs, mustObserve(t, w, source.ID(i), spec, int64(20+i)))
+	}
+	at := timeline.Tick(200)
+	prev := -1.0
+	for k := 1; k <= len(srcs); k++ {
+		q := QualityAt(w, srcs[:k], at, nil)
+		if q.Coverage < prev {
+			t.Errorf("coverage decreased when adding source %d: %v < %v", k, q.Coverage, prev)
+		}
+		prev = q.Coverage
+	}
+}
+
+func TestInsertionDelayStats(t *testing.T) {
+	w := testWorld(t)
+	spec := perfect(w.Points())
+	spec.Insert.Delay = source.ConstantDelay{D: 2}
+	s := mustObserve(t, w, 0, spec, 13)
+	st := InsertionDelayStats(w, s)
+	if st.Captured == 0 {
+		t.Fatal("no captures")
+	}
+	// All entities born after tick 0 are delayed by exactly 2.
+	if st.FractionDelayed == 0 {
+		t.Error("expected delayed items")
+	}
+	if st.AvgDelay < 2 {
+		t.Errorf("avg delay = %v, want >= 2", st.AvgDelay)
+	}
+
+	prompt := mustObserve(t, w, 1, perfect(w.Points()), 14)
+	st2 := InsertionDelayStats(w, prompt)
+	if st2.FractionDelayed != 0 || st2.AvgDelay != 0 {
+		t.Errorf("prompt source delayed stats = %+v", st2)
+	}
+}
+
+func TestTicksHelper(t *testing.T) {
+	ts := Ticks(3, 6)
+	if len(ts) != 4 || ts[0] != 3 || ts[3] != 6 {
+		t.Errorf("Ticks = %v", ts)
+	}
+	if Ticks(5, 4) != nil {
+		t.Error("reversed range should be nil")
+	}
+}
+
+func TestAverageFreshness(t *testing.T) {
+	w := testWorld(t)
+	s := mustObserve(t, w, 0, perfect(w.Points()), 15)
+	af := AverageFreshness(w, s, Ticks(0, 100))
+	if math.Abs(af-1) > 1e-12 {
+		t.Errorf("perfect source avg freshness = %v", af)
+	}
+	if AverageFreshness(w, s, nil) != 0 {
+		t.Error("no ticks should give 0")
+	}
+}
+
+func TestFusionBackwardsPanics(t *testing.T) {
+	w := testWorld(t)
+	s := mustObserve(t, w, 0, perfect(w.Points()), 16)
+	f := NewFusion(w, []*source.Source{s}, nil)
+	f.AdvanceTo(10)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	f.AdvanceTo(5)
+}

@@ -1,0 +1,319 @@
+package profile
+
+import (
+	"math"
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+func testWorld(t *testing.T) *world.World {
+	t.Helper()
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 500, LambdaAppear: 3, GammaDisappear: 0.012, GammaUpdate: 0.03},
+			{Point: world.DomainPoint{Location: 1, Category: 0}, InitialEntities: 300, LambdaAppear: 2, GammaDisappear: 0.012, GammaUpdate: 0.03},
+		},
+		Horizon: 400,
+		Seed:    77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func observe(t *testing.T, w *world.World, spec source.Spec, seed int64) *source.Source {
+	t.Helper()
+	s, err := source.Observe(w, 0, spec, stats.NewRNG(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func spec(interval timeline.Tick, insP, delP, updP float64, insDelayRate float64) source.Spec {
+	return source.Spec{
+		Name:           "s",
+		UpdateInterval: interval,
+		Points:         []world.DomainPoint{{Location: 0, Category: 0}, {Location: 1, Category: 0}},
+		Insert:         source.CaptureSpec{Prob: insP, Delay: source.ExponentialDelay{Rate: insDelayRate}},
+		Delete:         source.CaptureSpec{Prob: delP, Delay: source.ExponentialDelay{Rate: insDelayRate}},
+		Update:         source.CaptureSpec{Prob: updP, Delay: source.ExponentialDelay{Rate: insDelayRate}},
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(1, 1, 1, 1, 1), 1)
+	if _, err := Build(w, s, -1, nil); err == nil {
+		t.Error("want error for negative t0")
+	}
+	if _, err := Build(w, s, w.Horizon(), nil); err == nil {
+		t.Error("want error for t0 at horizon")
+	}
+}
+
+func TestSignaturesPerfectSource(t *testing.T) {
+	w := testWorld(t)
+	sp := spec(1, 1, 1, 1, 1)
+	sp.Insert.Delay = source.ConstantDelay{D: 0}
+	sp.Delete.Delay = source.ConstantDelay{D: 0}
+	sp.Update.Delay = source.ConstantDelay{D: 0}
+	s := observe(t, w, sp, 1)
+	t0 := timeline.Tick(300)
+	p, err := Build(w, s, t0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := w.AliveCount(t0, nil)
+	// A perfect prompt source holds exactly the live world, all up-to-date.
+	if p.B.Count() != alive {
+		t.Errorf("B = %d, alive = %d", p.B.Count(), alive)
+	}
+	if !p.Bup.Equal(p.Bcov) || !p.Bcov.Equal(p.B) {
+		t.Error("perfect source should have B = Bcov = Bup")
+	}
+	if math.Abs(p.CoverageT0-1) > 1e-12 {
+		t.Errorf("coverage = %v", p.CoverageT0)
+	}
+	if p.Size() != alive {
+		t.Errorf("Size = %d", p.Size())
+	}
+}
+
+func TestSignatureNesting(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(1, 0.8, 0.4, 0.5, 0.3), 2)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Bup.IsSubsetOf(p.Bcov) {
+		t.Error("Bup ⊄ Bcov")
+	}
+	if !p.Bcov.IsSubsetOf(p.B) {
+		t.Error("Bcov ⊄ B")
+	}
+	// With missed deletions there must be stale entries: B strictly larger.
+	if p.B.Count() == p.Bcov.Count() {
+		t.Error("expected non-deleted entries in B \\ Bcov")
+	}
+	if p.Bcov.Count() == p.Bup.Count() {
+		t.Error("expected out-of-date entries in Bcov \\ Bup")
+	}
+}
+
+func TestEffectivenessRecoversDelay(t *testing.T) {
+	w := testWorld(t)
+	// Constant insertion delay of 5 ticks, always captured.
+	sp := spec(1, 1, 1, 1, 1)
+	sp.Insert.Delay = source.ConstantDelay{D: 5}
+	s := observe(t, w, sp, 3)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Gi == nil {
+		t.Fatal("nil Gi")
+	}
+	if got := p.Gi.CDF(4); got > 0.05 {
+		t.Errorf("Gi(4) = %v, want ≈ 0 for constant delay 5", got)
+	}
+	if got := p.Gi.CDF(5); got < 0.95 {
+		t.Errorf("Gi(5) = %v, want ≈ 1", got)
+	}
+}
+
+func TestEffectivenessPlateauMatchesCaptureProb(t *testing.T) {
+	w := testWorld(t)
+	sp := spec(1, 0.6, 1, 1, 2)
+	s := observe(t, w, sp, 4)
+	p, err := Build(w, s, 350, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40% of entities are never captured → the KM plateau sits near 0.6.
+	if pl := p.Gi.Plateau(); math.Abs(pl-0.6) > 0.08 {
+		t.Errorf("Gi plateau = %v, want ≈ 0.6", pl)
+	}
+}
+
+func TestScheduleEstimation(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(7, 1, 1, 1, 1), 5)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.UpdateInterval-7) > 0.5 {
+		t.Errorf("estimated interval = %v, want ≈ 7", p.UpdateInterval)
+	}
+	if math.Abs(p.Freq()-1.0/7) > 0.02 {
+		t.Errorf("freq = %v", p.Freq())
+	}
+	if p.LastUpdate > 300 {
+		t.Errorf("LastUpdate %d beyond t0", p.LastUpdate)
+	}
+	// TS is anchored at LastUpdate and steps by the interval.
+	ts := p.TS(p.LastUpdate + 20)
+	if ts < p.LastUpdate || ts > p.LastUpdate+20 {
+		t.Errorf("TS = %d out of range", ts)
+	}
+	if got := p.TS(p.LastUpdate); got != p.LastUpdate {
+		t.Errorf("TS(tS0) = %d", got)
+	}
+	if got := p.TS(p.LastUpdate - 3); got != p.LastUpdate {
+		t.Errorf("TS before tS0 = %d, want tS0", got)
+	}
+}
+
+func TestEffAlignment(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(10, 1, 1, 1, 100), 6)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := p.LastUpdate + 5 // change occurs between acquisitions
+	// Before the next acquisition the change cannot be visible.
+	if got := p.EffIns(tc+1, tc); got != 0 {
+		t.Errorf("EffIns before acquisition = %v, want 0", got)
+	}
+	// At/after the next acquisition visibility jumps.
+	next := p.TS(tc + 20)
+	if next <= tc {
+		t.Fatalf("test setup: next acquisition %d not after tc %d", next, tc)
+	}
+	if got := p.EffIns(next, tc); got <= 0 {
+		t.Errorf("EffIns at next acquisition = %v, want > 0", got)
+	}
+}
+
+func TestEffMonotoneInT(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(3, 0.9, 0.8, 0.7, 0.5), 7)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := timeline.Tick(305)
+	prev := -1.0
+	for t1 := tc; t1 < tc+60; t1++ {
+		got := p.EffIns(t1, tc)
+		if got < prev-1e-12 {
+			t.Fatalf("EffIns not monotone at %d: %v < %v", t1, got, prev)
+		}
+		if got < 0 || got > 1 {
+			t.Fatalf("EffIns out of [0,1]: %v", got)
+		}
+		prev = got
+	}
+}
+
+func TestWithDivisor(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(2, 1, 1, 1, 1), 8)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3, err := p.WithDivisor(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3.AcqDivisor != 3 {
+		t.Errorf("divisor = %d", p3.AcqDivisor)
+	}
+	if p3 == p {
+		t.Error("WithDivisor(3) must copy")
+	}
+	same, err := p.WithDivisor(1)
+	if err != nil || same != p {
+		t.Error("WithDivisor(1) should return the receiver")
+	}
+	if _, err := p.WithDivisor(0); err == nil {
+		t.Error("want error for divisor 0")
+	}
+	// Coarser acquisition can only lag: effectiveness at equal t is ≤.
+	tc := p.LastUpdate + 1
+	for dt := timeline.Tick(1); dt < 40; dt++ {
+		if p3.EffIns(tc+dt, tc) > p.EffIns(tc+dt, tc)+1e-12 {
+			t.Fatalf("divided acquisition ahead of full at dt=%d", dt)
+		}
+	}
+}
+
+func TestDomainRestrictedProfile(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(1, 1, 1, 1, 5), 9)
+	p0 := world.DomainPoint{Location: 0, Category: 0}
+	p, err := Build(w, s, 300, []world.DomainPoint{p0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.B.ForEach(func(i int) {
+		if w.Entity(timeline.EntityID(i)).Point != p0 {
+			t.Fatalf("entity %d outside restricted domain in B", i)
+		}
+	})
+	all, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.B.Count() >= all.B.Count() {
+		t.Error("restricted profile should be strictly smaller here")
+	}
+}
+
+func TestNoObservationsNilDistributions(t *testing.T) {
+	w := testWorld(t)
+	sp := spec(1, 0, 0, 0, 1)
+	s := observe(t, w, sp, 10)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insertions all censored → Gi exists but is the zero CDF; deletions
+	// and updates have no conditional observations at all → nil.
+	if p.Gi == nil {
+		t.Error("Gi should exist from censored observations")
+	} else if p.Gi.Plateau() != 0 {
+		t.Errorf("Gi plateau = %v, want 0", p.Gi.Plateau())
+	}
+	if p.Gd != nil || p.Gu != nil {
+		t.Error("Gd/Gu should be nil with no mentions")
+	}
+	if p.EffDel(310, 305) != 0 || p.EffUpd(310, 305) != 0 {
+		t.Error("nil distributions must give zero effectiveness")
+	}
+	if p.Size() != 0 {
+		t.Errorf("empty source Size = %d", p.Size())
+	}
+}
+
+func TestInsertDelaysRetained(t *testing.T) {
+	w := testWorld(t)
+	s := observe(t, w, spec(1, 0.7, 1, 1, 0.4), 11)
+	p, err := Build(w, s, 300, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.InsertDelays) == 0 {
+		t.Fatal("no retained delay observations")
+	}
+	exact, censored := 0, 0
+	for _, d := range p.InsertDelays {
+		if d.Censored {
+			censored++
+		} else {
+			exact++
+		}
+	}
+	if exact == 0 || censored == 0 {
+		t.Errorf("want both exact (%d) and censored (%d) observations", exact, censored)
+	}
+}

@@ -1,0 +1,77 @@
+package selection_test
+
+import (
+	"fmt"
+	"sort"
+
+	"freshsource/internal/matroid"
+	"freshsource/internal/selection"
+	"freshsource/internal/stats"
+)
+
+// demoOracle is a tiny weighted-coverage objective: candidate 0 covers
+// items {0,1}, candidate 1 covers {2,3}, candidate 2 covers everything but
+// costs more than it adds.
+type demoOracle struct{}
+
+func (demoOracle) Value(set []int) float64 {
+	covered := map[int]bool{}
+	var cost float64
+	covers := [][]int{{0, 1}, {2, 3}, {0, 1, 2, 3}}
+	costs := []float64{0.5, 0.5, 3.5}
+	for _, c := range set {
+		for _, it := range covers[c] {
+			covered[it] = true
+		}
+		cost += costs[c]
+	}
+	return float64(len(covered)) - cost
+}
+
+func (demoOracle) Feasible([]int) bool { return true }
+
+// MaxSub is Algorithm 1 of the paper: local search with add/delete moves
+// and a complement check.
+func ExampleMaxSub() {
+	r := selection.MaxSub(demoOracle{}, 3, 0.1)
+	sort.Ints(r.Set)
+	fmt.Println(r.Set, r.Value)
+	// Output: [0 1] 3
+}
+
+// GRASP(κ=1, r=1) degenerates to deterministic hill climbing.
+func ExampleGRASP() {
+	r := selection.GRASP(demoOracle{}, 3, 1, 1, stats.NewRNG(1))
+	sort.Ints(r.Set)
+	fmt.Println(r.Set, r.Value)
+	// Output: [0 1] 3
+}
+
+// The varying-frequency constraint of Definition 4: candidates 0,1 are two
+// frequency versions of one source, candidates 2,3 of another; at most one
+// version per source may be selected.
+func ExampleMatroidMax() {
+	pm, _ := matroid.OnePerClass([]int{0, 0, 1, 1})
+	r := selection.MatroidMax(demoOracle2{}, 4, []matroid.Matroid{pm}, 0.1)
+	sort.Ints(r.Set)
+	fmt.Println(r.Set)
+	// Output: [0 2]
+}
+
+type demoOracle2 struct{}
+
+func (demoOracle2) Value(set []int) float64 {
+	covered := map[int]bool{}
+	var cost float64
+	covers := [][]int{{0, 1}, {0}, {2, 3}, {2}}
+	costs := []float64{0.2, 0.1, 0.2, 0.1}
+	for _, c := range set {
+		for _, it := range covers[c] {
+			covered[it] = true
+		}
+		cost += costs[c]
+	}
+	return float64(len(covered)) - cost
+}
+
+func (demoOracle2) Feasible([]int) bool { return true }

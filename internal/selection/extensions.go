@@ -1,0 +1,149 @@
+package selection
+
+import (
+	"container/heap"
+	"math"
+	"time"
+)
+
+// This file extends the paper's algorithm suite with two standard
+// submodular-optimization tools that a production deployment wants:
+//
+//   - LazyGreedy (CELF): greedy with lazy marginal re-evaluation. For
+//     monotone submodular objectives the marginal gain of a candidate can
+//     only shrink as the solution grows, so a stale upper bound from an
+//     earlier round often suffices to skip re-evaluation. Same output as
+//     Greedy on submodular objectives, far fewer oracle calls.
+//
+//   - BudgetedGreedy: the cost-benefit greedy for a knapsack budget βc
+//     (Definition 3's constraint, which the paper's experiments leave
+//     unconstrained): grow by the best marginal-profit-per-unit-cost
+//     candidate that fits, and return the better of that solution and the
+//     best feasible singleton — the classic (1−1/√e)-style guarantee
+//     construction.
+
+// marginalItem is a priority-queue entry for lazy greedy.
+type marginalItem struct {
+	idx     int
+	gain    float64
+	round   int // the solution size at which gain was computed
+	heapIdx int
+}
+
+type marginalHeap []*marginalItem
+
+func (h marginalHeap) Len() int            { return len(h) }
+func (h marginalHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
+func (h marginalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *marginalHeap) Push(x interface{}) { *h = append(*h, x.(*marginalItem)) }
+func (h *marginalHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// LazyGreedy runs the accelerated greedy. It is exact for Greedy's move
+// sequence when the objective is monotone submodular; on non-submodular
+// objectives it is a heuristic (stale bounds may hide a better candidate).
+func LazyGreedy(f Oracle, n int) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	var set []int
+	cur := f.Value(set)
+
+	h := make(marginalHeap, 0, n)
+	for x := 0; x < n; x++ {
+		cand := with(set, x)
+		if !f.Feasible(cand) {
+			continue
+		}
+		h = append(h, &marginalItem{idx: x, gain: f.Value(cand) - cur, round: 0})
+	}
+	heap.Init(&h)
+
+	round := 0
+	for h.Len() > 0 {
+		top := h[0]
+		if top.gain <= 1e-12 {
+			break // even the most optimistic bound does not improve
+		}
+		if top.round != round {
+			// Stale bound: recompute against the current solution.
+			cand := with(set, top.idx)
+			if !f.Feasible(cand) {
+				heap.Pop(&h)
+				continue
+			}
+			top.gain = f.Value(cand) - cur
+			top.round = round
+			heap.Fix(&h, 0)
+			continue
+		}
+		// Fresh and on top: take it.
+		heap.Pop(&h)
+		set = with(set, top.idx)
+		cur += top.gain
+		round++
+	}
+	// cur accumulated incrementally; report the oracle's exact value.
+	cur = f.Value(set)
+	return finish(f, set, cur, calls0, start)
+}
+
+// BudgetedGreedy maximizes under the oracle's feasibility (budget)
+// constraint using cost-per-unit marginals, returning the better of the
+// ratio-greedy solution and the best feasible singleton. cost reports each
+// candidate's (rescaled) cost.
+func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+
+	// Ratio greedy.
+	var set []int
+	cur := f.Value(set)
+	taken := make([]bool, n)
+	for {
+		bestIdx := -1
+		bestRatio := 0.0
+		bestVal := cur
+		for x := 0; x < n; x++ {
+			if taken[x] {
+				continue
+			}
+			cand := with(set, x)
+			if !f.Feasible(cand) {
+				continue
+			}
+			v := f.Value(cand)
+			delta := v - cur
+			if delta <= 0 {
+				continue
+			}
+			c := cost(x)
+			ratio := delta
+			if c > 0 {
+				ratio = delta / c
+			} else {
+				ratio = math.Inf(1)
+			}
+			if bestIdx < 0 || ratio > bestRatio {
+				bestIdx, bestRatio, bestVal = x, ratio, v
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		taken[bestIdx] = true
+		set = with(set, bestIdx)
+		cur = bestVal
+	}
+
+	// Best feasible singleton.
+	singleton, sVal := bestSingleton(f, n)
+	if singleton != nil && sVal > cur {
+		set, cur = singleton, sVal
+	}
+	return finish(f, set, cur, calls0, start)
+}

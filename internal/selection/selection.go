@@ -1,0 +1,467 @@
+// Package selection implements the source-selection algorithms of
+// Section 5 of the paper and the GRASP baseline of Dong et al. that the
+// paper compares against:
+//
+//   - Greedy: the marginal-gain greedy of Dong et al. — iteratively add the
+//     candidate that most improves profit until no addition improves.
+//   - MaxSub (Algorithm 1): the Feige–Mirrokni local search for maximizing
+//     a (possibly non-monotone) submodular function, with add and delete
+//     moves gated by the (1+ε/n²) improvement threshold, returning the
+//     better of the local optimum and its complement.
+//   - MatroidLocalSearch / MatroidMax (Algorithms 3 and 2): the Lee et al.
+//     local search under k matroid constraints with delete and exchange
+//     moves gated by (1+ε/n⁴), run k+1 times on shrinking ground sets.
+//   - GRASP(κ, r): r rounds of randomized greedy construction (uniform
+//     choice among the κ best positive-marginal candidates) followed by
+//     add/drop/swap hill climbing.
+//
+// All algorithms consume a value oracle and an optional feasibility
+// predicate (the budget βc) and report the selected set, its value, the
+// number of oracle calls and the wall-clock duration.
+package selection
+
+import (
+	"math"
+	"time"
+
+	"freshsource/internal/matroid"
+	"freshsource/internal/stats"
+)
+
+// Oracle is the profit value oracle f and the feasibility predicate (the
+// budget constraint of Definitions 3–5).
+type Oracle interface {
+	Value(set []int) float64
+	Feasible(set []int) bool
+}
+
+// callCounter is implemented by oracles that count their own evaluations
+// (gain.Profit does).
+type callCounter interface{ Calls() int }
+
+// Result reports one algorithm run.
+type Result struct {
+	// Set is the selected candidate set.
+	Set []int
+	// Value is f(Set).
+	Value float64
+	// OracleCalls is the number of value-oracle evaluations, when the
+	// oracle exposes a counter.
+	OracleCalls int
+	// Duration is the wall-clock time of the run.
+	Duration time.Duration
+}
+
+func finish(f Oracle, set []int, value float64, calls0 int, start time.Time) Result {
+	r := Result{Set: append([]int(nil), set...), Value: value, Duration: time.Since(start)}
+	if c, ok := f.(callCounter); ok {
+		r.OracleCalls = c.Calls() - calls0
+	}
+	return r
+}
+
+func startCalls(f Oracle) int {
+	if c, ok := f.(callCounter); ok {
+		return c.Calls()
+	}
+	return 0
+}
+
+// contains reports membership.
+func contains(set []int, x int) bool {
+	for _, y := range set {
+		if y == x {
+			return true
+		}
+	}
+	return false
+}
+
+// without returns set \ {xs...}.
+func without(set []int, xs ...int) []int {
+	out := make([]int, 0, len(set))
+	for _, y := range set {
+		drop := false
+		for _, x := range xs {
+			if y == x {
+				drop = true
+				break
+			}
+		}
+		if !drop {
+			out = append(out, y)
+		}
+	}
+	return out
+}
+
+// with returns set ∪ {x} (assumes x ∉ set).
+func with(set []int, x int) []int {
+	out := make([]int, 0, len(set)+1)
+	out = append(out, set...)
+	return append(out, x)
+}
+
+// Greedy is the greedy baseline of Dong et al.: starting from the empty
+// set, repeatedly add the feasible candidate with the best positive
+// marginal profit; stop when no addition improves.
+func Greedy(f Oracle, n int) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	var set []int
+	cur := f.Value(set)
+	for {
+		bestIdx, bestVal := -1, cur
+		for x := 0; x < n; x++ {
+			if contains(set, x) {
+				continue
+			}
+			cand := with(set, x)
+			if !f.Feasible(cand) {
+				continue
+			}
+			if v := f.Value(cand); v > bestVal {
+				bestIdx, bestVal = x, v
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		set = with(set, bestIdx)
+		cur = bestVal
+	}
+	return finish(f, set, cur, calls0, start)
+}
+
+// improves implements the multiplicative improvement threshold
+// f(new) > (1 + ε/d)·f(cur) of Algorithms 1 and 3, made robust to
+// non-positive values: the required improvement is ε/d of |f(cur)|, with a
+// tiny absolute floor to guarantee termination.
+func improves(newV, curV, eps, denom float64) bool {
+	delta := (eps / denom) * math.Abs(curV)
+	if delta < 1e-12 {
+		delta = 1e-12
+	}
+	return newV > curV+delta
+}
+
+// MaxSub is Algorithm 1 of the paper (Feige & Mirrokni local search). eps
+// is the approximation slack ε; the thresholds use ε/n².
+func MaxSub(f Oracle, n int, eps float64) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	if n == 0 {
+		return finish(f, nil, f.Value(nil), calls0, start)
+	}
+	denom := float64(n) * float64(n)
+
+	// Ln. 3: best feasible singleton.
+	set, cur := bestSingleton(f, n)
+	if set == nil {
+		return finish(f, nil, f.Value(nil), calls0, start)
+	}
+
+	// Ln. 4–10: local add/delete moves.
+	for {
+		moved := false
+		// Addition.
+		bestIdx, bestVal := -1, cur
+		for x := 0; x < n; x++ {
+			if contains(set, x) {
+				continue
+			}
+			cand := with(set, x)
+			if !f.Feasible(cand) {
+				continue
+			}
+			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+				bestIdx, bestVal = x, v
+			}
+		}
+		if bestIdx >= 0 {
+			set, cur = with(set, bestIdx), bestVal
+			moved = true
+		}
+		// Deletion.
+		bestIdx, bestVal = -1, cur
+		for _, x := range set {
+			cand := without(set, x)
+			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+				bestIdx, bestVal = x, v
+			}
+		}
+		if bestIdx >= 0 {
+			set, cur = without(set, bestIdx), bestVal
+			moved = true
+		}
+		if !moved {
+			break
+		}
+	}
+
+	// Ln. 11: compare with the complement.
+	comp := make([]int, 0, n-len(set))
+	for x := 0; x < n; x++ {
+		if !contains(set, x) {
+			comp = append(comp, x)
+		}
+	}
+	if f.Feasible(comp) {
+		if v := f.Value(comp); v > cur {
+			set, cur = comp, v
+		}
+	}
+	return finish(f, set, cur, calls0, start)
+}
+
+func bestSingleton(f Oracle, n int) ([]int, float64) {
+	bestIdx, bestVal := -1, math.Inf(-1)
+	for x := 0; x < n; x++ {
+		cand := []int{x}
+		if !f.Feasible(cand) {
+			continue
+		}
+		if v := f.Value(cand); v > bestVal {
+			bestIdx, bestVal = x, v
+		}
+	}
+	if bestIdx < 0 {
+		return nil, 0
+	}
+	return []int{bestIdx}, bestVal
+}
+
+// MatroidLocalSearch is Algorithm 3: local search over ground (a subset of
+// {0,…,n-1}) under the intersection of the given matroids, with delete and
+// exchange moves gated by (1+ε/n⁴).
+func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float64) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	if len(ground) == 0 {
+		return finish(f, nil, f.Value(nil), calls0, start)
+	}
+	n := 0
+	for _, m := range ms {
+		if m.N() > n {
+			n = m.N()
+		}
+	}
+	if n == 0 {
+		n = len(ground)
+	}
+	denom := float64(n) * float64(n) * float64(n) * float64(n)
+
+	// Ln. 3: best feasible singleton within the ground set.
+	var set []int
+	cur := math.Inf(-1)
+	for _, x := range ground {
+		cand := []int{x}
+		if !matroid.AllIndependent(ms, cand) || !f.Feasible(cand) {
+			continue
+		}
+		if v := f.Value(cand); v > cur {
+			set, cur = cand, v
+		}
+	}
+	if set == nil {
+		return finish(f, nil, f.Value(nil), calls0, start)
+	}
+
+	for {
+		moved := false
+
+		// Ln. 5–7: delete operation.
+		bestSet, bestVal := ([]int)(nil), cur
+		for _, x := range set {
+			cand := without(set, x)
+			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+				bestSet, bestVal = cand, v
+			}
+		}
+		if bestSet != nil {
+			set, cur = bestSet, bestVal
+			moved = true
+		}
+
+		// Ln. 8–10: exchange operation — bring in d, removing at most one
+		// conflicting element per matroid.
+		bestSet, bestVal = nil, cur
+		for _, d := range ground {
+			if contains(set, d) {
+				continue
+			}
+			var removals []int
+			ok := true
+			for _, m := range ms {
+				if m.CanAdd(without(set, removals...), d) {
+					continue
+				}
+				conf := m.Conflicts(set, d)
+				if conf == nil {
+					ok = false
+					break
+				}
+				removals = append(removals, conf...)
+			}
+			if !ok {
+				continue
+			}
+			cand := with(without(set, removals...), d)
+			if !matroid.AllIndependent(ms, cand) || !f.Feasible(cand) {
+				continue
+			}
+			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+				bestSet, bestVal = cand, v
+			}
+		}
+		if bestSet != nil {
+			set, cur = bestSet, bestVal
+			moved = true
+		}
+
+		if !moved {
+			break
+		}
+	}
+	return finish(f, set, cur, calls0, start)
+}
+
+// MatroidMax is Algorithm 2: run the local search k+1 times on shrinking
+// ground sets (removing each round's selection) and return the best round.
+func MatroidMax(f Oracle, n int, ms []matroid.Matroid, eps float64) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	ground := make([]int, n)
+	for i := range ground {
+		ground[i] = i
+	}
+	k := len(ms)
+	var best Result
+	best.Value = math.Inf(-1)
+	for i := 0; i <= k; i++ {
+		if len(ground) == 0 {
+			break
+		}
+		r := MatroidLocalSearch(f, ground, ms, eps)
+		if r.Value > best.Value {
+			best = r
+		}
+		ground = without(ground, r.Set...)
+	}
+	if math.IsInf(best.Value, -1) {
+		best = Result{Value: f.Value(nil)}
+	}
+	return finish(f, best.Set, best.Value, calls0, start)
+}
+
+// GRASP is the randomized multi-start of Dong et al.: r rounds of greedy
+// randomized construction — at each step choose uniformly among the κ
+// candidates with the largest positive marginal profit — followed by
+// add/drop/swap hill climbing; the best round wins. (κ=1, r=1) degenerates
+// to plain hill climbing.
+func GRASP(f Oracle, n int, kappa, r int, rng *stats.RNG) Result {
+	start := time.Now()
+	calls0 := startCalls(f)
+	best := Result{Value: math.Inf(-1)}
+	for it := 0; it < r; it++ {
+		set, cur := graspConstruct(f, n, kappa, rng)
+		set, cur = hillClimb(f, n, set, cur)
+		if cur > best.Value {
+			best.Set = append([]int(nil), set...)
+			best.Value = cur
+		}
+	}
+	if math.IsInf(best.Value, -1) {
+		best = Result{Value: f.Value(nil)}
+	}
+	return finish(f, best.Set, best.Value, calls0, start)
+}
+
+func graspConstruct(f Oracle, n, kappa int, rng *stats.RNG) ([]int, float64) {
+	var set []int
+	cur := f.Value(set)
+	for {
+		type cand struct {
+			x int
+			v float64
+		}
+		var cands []cand
+		for x := 0; x < n; x++ {
+			if contains(set, x) {
+				continue
+			}
+			s := with(set, x)
+			if !f.Feasible(s) {
+				continue
+			}
+			if v := f.Value(s); v > cur {
+				cands = append(cands, cand{x, v})
+			}
+		}
+		if len(cands) == 0 {
+			return set, cur
+		}
+		// Restricted candidate list: the κ best by value.
+		for i := 0; i < len(cands); i++ {
+			for j := i + 1; j < len(cands); j++ {
+				if cands[j].v > cands[i].v {
+					cands[i], cands[j] = cands[j], cands[i]
+				}
+			}
+		}
+		if len(cands) > kappa {
+			cands = cands[:kappa]
+		}
+		pick := cands[rng.Intn(len(cands))]
+		set = with(set, pick.x)
+		cur = pick.v
+	}
+}
+
+// hillClimb applies best-improvement add, drop and swap moves until a local
+// optimum.
+func hillClimb(f Oracle, n int, set []int, cur float64) ([]int, float64) {
+	for {
+		bestSet, bestVal := ([]int)(nil), cur
+		// Add.
+		for x := 0; x < n; x++ {
+			if contains(set, x) {
+				continue
+			}
+			cand := with(set, x)
+			if !f.Feasible(cand) {
+				continue
+			}
+			if v := f.Value(cand); v > bestVal {
+				bestSet, bestVal = cand, v
+			}
+		}
+		// Drop.
+		for _, x := range set {
+			cand := without(set, x)
+			if v := f.Value(cand); v > bestVal {
+				bestSet, bestVal = cand, v
+			}
+		}
+		// Swap.
+		for _, x := range set {
+			base := without(set, x)
+			for y := 0; y < n; y++ {
+				if contains(set, y) {
+					continue
+				}
+				cand := with(base, y)
+				if !f.Feasible(cand) {
+					continue
+				}
+				if v := f.Value(cand); v > bestVal {
+					bestSet, bestVal = cand, v
+				}
+			}
+		}
+		if bestSet == nil {
+			return set, cur
+		}
+		set, cur = bestSet, bestVal
+	}
+}

@@ -1,0 +1,81 @@
+package snapio
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestWriteIntoFilePathFails(t *testing.T) {
+	dir := t.TempDir()
+	blocker := filepath.Join(dir, "blocked")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := smallDataset(t)
+	if err := Write(filepath.Join(blocker, "sub"), d); err == nil {
+		t.Error("want error writing under a regular file")
+	}
+}
+
+func TestReadMissingWorldFile(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, worldFile)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil {
+		t.Error("want error for missing world file")
+	}
+}
+
+func TestReadCorruptEntityLine(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, worldFile), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil {
+		t.Error("want error for corrupt entity line")
+	}
+}
+
+func TestReadCorruptSourceLine(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, sourcesFile), []byte("[\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil {
+		t.Error("want error for corrupt source line")
+	}
+}
+
+func TestReadBlankLinesTolerated(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	// Append blank lines to the events file; Read must skip them.
+	f, err := os.OpenFile(filepath.Join(dir, eventsFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("\n\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Read(dir); err != nil {
+		t.Errorf("blank lines should be tolerated: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"errors"
+	"sort"
+)
+
+// KaplanMeier is the product-limit estimator of a distribution function
+// from exact and right-censored duration observations (Kaplan & Meier
+// 1958). The paper uses it to learn the effectiveness distributions Gi, Gd
+// and Gu of a source: the probability that the source captures a world
+// change within τ time units (Section 4.1.2, Figure 7).
+//
+// The estimator is a right-continuous step function. CDF(τ) = 1 − Ŝ(τ)
+// where Ŝ is the estimated survival function. When the largest observation
+// is censored the CDF plateaus below 1, which is exactly the behaviour
+// needed to model sources that permanently miss a fraction of the world's
+// changes.
+type KaplanMeier struct {
+	times []float64 // distinct event times, increasing
+	cdf   []float64 // CDF value at and after times[i] (before times[i+1])
+	n     int       // total observations
+}
+
+// NewKaplanMeier builds the estimator from observations. It returns an
+// error when there are no observations; all-censored inputs are legal and
+// produce the zero CDF.
+func NewKaplanMeier(obs []Duration) (*KaplanMeier, error) {
+	if len(obs) == 0 {
+		return nil, errors.New("stats: KaplanMeier with no observations")
+	}
+	sorted := make([]Duration, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value < sorted[j].Value
+		}
+		// At ties, events before censorings: a subject censored at t is
+		// conventionally considered at risk for an event at t.
+		return !sorted[i].Censored && sorted[j].Censored
+	})
+
+	km := &KaplanMeier{n: len(obs)}
+	surv := 1.0
+	atRisk := len(sorted)
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Value
+		deaths, censored := 0, 0
+		for i < len(sorted) && sorted[i].Value == t {
+			if sorted[i].Censored {
+				censored++
+			} else {
+				deaths++
+			}
+			i++
+		}
+		if deaths > 0 {
+			surv *= 1 - float64(deaths)/float64(atRisk)
+			km.times = append(km.times, t)
+			km.cdf = append(km.cdf, 1-surv)
+		}
+		atRisk -= deaths + censored
+	}
+	return km, nil
+}
+
+// CDF returns the estimated probability that the duration is at most tau.
+func (km *KaplanMeier) CDF(tau float64) float64 {
+	// Find the last event time ≤ tau.
+	i := sort.SearchFloat64s(km.times, tau)
+	if i < len(km.times) && km.times[i] == tau {
+		return km.cdf[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return km.cdf[i-1]
+}
+
+// Survival returns 1 − CDF(tau).
+func (km *KaplanMeier) Survival(tau float64) float64 { return 1 - km.CDF(tau) }
+
+// Plateau returns the terminal value of the CDF — the estimated probability
+// that the event ever happens. With heavily censored data this is < 1.
+func (km *KaplanMeier) Plateau() float64 {
+	if len(km.cdf) == 0 {
+		return 0
+	}
+	return km.cdf[len(km.cdf)-1]
+}
+
+// Steps returns the estimator's step points as (time, CDF value) pairs, for
+// plotting (Figure 7 of the paper).
+func (km *KaplanMeier) Steps() (times, cdf []float64) {
+	t := make([]float64, len(km.times))
+	c := make([]float64, len(km.cdf))
+	copy(t, km.times)
+	copy(c, km.cdf)
+	return t, c
+}
+
+// N returns the number of observations the estimator was built from.
+func (km *KaplanMeier) N() int { return km.n }
+
+// MedianTime returns the smallest time at which the CDF reaches 0.5, and
+// whether such a time exists (it may not when the plateau is below 0.5).
+func (km *KaplanMeier) MedianTime() (float64, bool) {
+	for i, c := range km.cdf {
+		if c >= 0.5 {
+			return km.times[i], true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,170 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKMNoCensoring(t *testing.T) {
+	// Without censoring, KM is the empirical CDF.
+	obs := []Duration{{Value: 1}, {Value: 2}, {Value: 3}, {Value: 4}}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		tau  float64
+		want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.5}, {3.9, 0.75}, {4, 1}, {100, 1},
+	}
+	for _, c := range cases {
+		if got := km.CDF(c.tau); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("CDF(%v) = %v, want %v", c.tau, got, c.want)
+		}
+	}
+	if km.Plateau() != 1 {
+		t.Errorf("Plateau = %v, want 1", km.Plateau())
+	}
+}
+
+func TestKMTextbookExample(t *testing.T) {
+	// Classic example: events at 1, 3; censored at 2, 4.
+	// S(1) = 1 - 1/4 = 0.75. At t=3 at-risk = 2, S(3) = 0.75 * (1 - 1/2) = 0.375.
+	obs := []Duration{{Value: 1}, {Value: 2, Censored: true}, {Value: 3}, {Value: 4, Censored: true}}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := km.Survival(1); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("S(1) = %v, want 0.75", got)
+	}
+	if got := km.Survival(2.5); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("S(2.5) = %v, want 0.75", got)
+	}
+	if got := km.Survival(3); math.Abs(got-0.375) > 1e-12 {
+		t.Errorf("S(3) = %v, want 0.375", got)
+	}
+	// Plateau below 1 because the last observation is censored.
+	if p := km.Plateau(); math.Abs(p-0.625) > 1e-12 {
+		t.Errorf("Plateau = %v, want 0.625", p)
+	}
+}
+
+func TestKMAllCensored(t *testing.T) {
+	km, err := NewKaplanMeier([]Duration{{Value: 5, Censored: true}, {Value: 7, Censored: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.CDF(100) != 0 {
+		t.Errorf("all-censored CDF should be 0, got %v", km.CDF(100))
+	}
+	if _, ok := km.MedianTime(); ok {
+		t.Error("median should not exist for all-censored data")
+	}
+}
+
+func TestKMEmptyInput(t *testing.T) {
+	if _, err := NewKaplanMeier(nil); err == nil {
+		t.Error("want error on empty input")
+	}
+}
+
+func TestKMTiesEventBeforeCensor(t *testing.T) {
+	// A censoring tied with an event keeps the censored subject at risk.
+	obs := []Duration{{Value: 2}, {Value: 2, Censored: true}, {Value: 5}}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At t=2: at-risk 3, one event → S = 2/3.
+	if got := km.Survival(2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("S(2) = %v, want 2/3", got)
+	}
+	// At t=5: at-risk 1 (one event happened, one censored) → S = 0.
+	if got := km.Survival(5); math.Abs(got) > 1e-12 {
+		t.Errorf("S(5) = %v, want 0", got)
+	}
+}
+
+func TestKMMedian(t *testing.T) {
+	obs := []Duration{{Value: 1}, {Value: 2}, {Value: 3}, {Value: 4}}
+	km, _ := NewKaplanMeier(obs)
+	med, ok := km.MedianTime()
+	if !ok || med != 2 {
+		t.Errorf("median = %v (%v), want 2", med, ok)
+	}
+}
+
+func TestKMRecoversExponential(t *testing.T) {
+	// KM on heavily censored exponential data must agree with the true CDF.
+	g := NewRNG(17)
+	const rate = 0.1
+	const horizon = 15.0
+	var obs []Duration
+	for i := 0; i < 30000; i++ {
+		v := g.Exponential(rate)
+		if v > horizon {
+			obs = append(obs, Duration{Value: horizon, Censored: true})
+		} else {
+			obs = append(obs, Duration{Value: v})
+		}
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{1, 3, 5, 8, 12} {
+		want := 1 - math.Exp(-rate*tau)
+		if got := km.CDF(tau); math.Abs(got-want) > 0.01 {
+			t.Errorf("CDF(%v) = %v, want ≈ %v", tau, got, want)
+		}
+	}
+}
+
+func TestKMQuickValidCDF(t *testing.T) {
+	// Property: for random censored data, the KM CDF is a monotone
+	// non-decreasing step function with values in [0, 1].
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(50)
+		obs := make([]Duration, n)
+		for i := range obs {
+			obs[i] = Duration{Value: float64(r.Intn(20)) + r.Float64(), Censored: r.Intn(3) == 0}
+		}
+		km, err := NewKaplanMeier(obs)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for tau := 0.0; tau < 25; tau += 0.25 {
+			c := km.CDF(tau)
+			if c < 0 || c > 1 || c < prev {
+				return false
+			}
+			prev = c
+		}
+		times, cdf := km.Steps()
+		if len(times) != len(cdf) {
+			return false
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] <= times[i-1] || cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMN(t *testing.T) {
+	km, _ := NewKaplanMeier([]Duration{{Value: 1}, {Value: 2, Censored: true}})
+	if km.N() != 2 {
+		t.Errorf("N = %d, want 2", km.N())
+	}
+}

@@ -1,0 +1,93 @@
+package stats
+
+import (
+	"errors"
+)
+
+// PeriodicPoissonModel is a nonhomogeneous Poisson model with a
+// piecewise-constant, periodic intensity: one rate per phase of a fixed
+// period (e.g. 7 phases for weekly seasonality in daily counts). It
+// captures the "complex update patterns" of real sources and domains that
+// a single homogeneous rate misses.
+type PeriodicPoissonModel struct {
+	Period int
+	// Rates[p] is the intensity at phase p (ticks t with t % Period == p).
+	Rates []float64
+	// Mean is the phase-averaged intensity (equals the homogeneous MLE).
+	Mean float64
+	// N is the number of observed intervals.
+	N int
+}
+
+// FitPeriodicPoisson fits per-phase intensities to consecutive per-tick
+// counts, where counts[i] is the count at tick startTick+i.
+func FitPeriodicPoisson(counts []int, startTick int, period int) (PeriodicPoissonModel, error) {
+	if period <= 0 {
+		return PeriodicPoissonModel{}, errors.New("stats: period must be positive")
+	}
+	if len(counts) < period {
+		return PeriodicPoissonModel{}, errors.New("stats: need at least one full period of counts")
+	}
+	sums := make([]float64, period)
+	nums := make([]int, period)
+	var total float64
+	for i, c := range counts {
+		if c < 0 {
+			return PeriodicPoissonModel{}, errors.New("stats: negative count")
+		}
+		p := (startTick + i) % period
+		if p < 0 {
+			p += period
+		}
+		sums[p] += float64(c)
+		nums[p]++
+		total += float64(c)
+	}
+	m := PeriodicPoissonModel{Period: period, Rates: make([]float64, period), N: len(counts)}
+	for p := range m.Rates {
+		if nums[p] > 0 {
+			m.Rates[p] = sums[p] / float64(nums[p])
+		}
+	}
+	m.Mean = total / float64(len(counts))
+	return m, nil
+}
+
+// RateAt returns the intensity at the given tick.
+func (m PeriodicPoissonModel) RateAt(tick int) float64 {
+	p := tick % m.Period
+	if p < 0 {
+		p += m.Period
+	}
+	return m.Rates[p]
+}
+
+// SeasonalityTest checks whether the per-phase rates differ significantly
+// from a homogeneous rate, via a chi-square test of the per-phase totals
+// against equal expectation. A small p-value means real seasonality.
+func SeasonalityTest(counts []int, startTick, period int) (ChiSquareResult, error) {
+	if period <= 1 {
+		return ChiSquareResult{}, errors.New("stats: period must exceed 1")
+	}
+	if len(counts) < 2*period {
+		return ChiSquareResult{}, errors.New("stats: need at least two full periods")
+	}
+	obs := make([]float64, period)
+	nums := make([]float64, period)
+	var total float64
+	for i, c := range counts {
+		p := (startTick + i) % period
+		if p < 0 {
+			p += period
+		}
+		obs[p] += float64(c)
+		nums[p]++
+		total += float64(c)
+	}
+	exp := make([]float64, period)
+	n := float64(len(counts))
+	for p := range exp {
+		exp[p] = total * nums[p] / n
+	}
+	return ChiSquareTest(obs, exp, 0, 5)
+}

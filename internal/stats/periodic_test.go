@@ -1,0 +1,100 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFitPeriodicPoisson(t *testing.T) {
+	// Deterministic counts: phase 0 always 10, phase 1 always 2.
+	counts := []int{10, 2, 10, 2, 10, 2, 10, 2}
+	m, err := FitPeriodicPoisson(counts, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rates[0] != 10 || m.Rates[1] != 2 {
+		t.Errorf("rates = %v", m.Rates)
+	}
+	if m.Mean != 6 {
+		t.Errorf("mean = %v", m.Mean)
+	}
+	if m.RateAt(0) != 10 || m.RateAt(3) != 2 || m.RateAt(-1) != 2 {
+		t.Error("RateAt phase arithmetic wrong")
+	}
+	// Start tick offsets the phase assignment.
+	m2, err := FitPeriodicPoisson(counts, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Rates[1] != 10 || m2.Rates[0] != 2 {
+		t.Errorf("offset rates = %v", m2.Rates)
+	}
+}
+
+func TestFitPeriodicPoissonErrors(t *testing.T) {
+	if _, err := FitPeriodicPoisson([]int{1, 2}, 0, 0); err == nil {
+		t.Error("want error for period 0")
+	}
+	if _, err := FitPeriodicPoisson([]int{1}, 0, 2); err == nil {
+		t.Error("want error for short input")
+	}
+	if _, err := FitPeriodicPoisson([]int{1, -1}, 0, 2); err == nil {
+		t.Error("want error for negative count")
+	}
+}
+
+func TestFitPeriodicRecoversSine(t *testing.T) {
+	g := NewRNG(83)
+	const base, amp = 20.0, 0.5
+	const period = 7
+	counts := make([]int, 70*period)
+	for i := range counts {
+		rate := base * (1 + amp*math.Sin(2*math.Pi*float64(i)/period))
+		counts[i] = g.Poisson(rate)
+	}
+	m, err := FitPeriodicPoisson(counts, 0, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < period; p++ {
+		want := base * (1 + amp*math.Sin(2*math.Pi*float64(p)/period))
+		if math.Abs(m.Rates[p]-want) > 0.15*base {
+			t.Errorf("phase %d rate %v, want ≈ %v", p, m.Rates[p], want)
+		}
+	}
+}
+
+func TestSeasonalityTestDetects(t *testing.T) {
+	g := NewRNG(89)
+	const period = 7
+	seasonal := make([]int, 40*period)
+	flat := make([]int, 40*period)
+	for i := range seasonal {
+		rate := 15 * (1 + 0.6*math.Sin(2*math.Pi*float64(i)/period))
+		seasonal[i] = g.Poisson(rate)
+		flat[i] = g.Poisson(15)
+	}
+	rs, err := SeasonalityTest(seasonal, 0, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.PValue > 1e-6 {
+		t.Errorf("seasonality not detected: p = %v", rs.PValue)
+	}
+	rf, err := SeasonalityTest(flat, 0, period)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.PValue < 0.01 {
+		t.Errorf("false seasonality on flat data: p = %v", rf.PValue)
+	}
+}
+
+func TestSeasonalityTestErrors(t *testing.T) {
+	if _, err := SeasonalityTest([]int{1, 2, 3}, 0, 1); err == nil {
+		t.Error("want error for period 1")
+	}
+	if _, err := SeasonalityTest([]int{1, 2, 3}, 0, 7); err == nil {
+		t.Error("want error for short input")
+	}
+}

@@ -1,0 +1,173 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce same stream")
+		}
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	g := NewRNG(7)
+	f1 := g.Fork()
+	f2 := g.Fork()
+	// Forks must differ from each other.
+	same := true
+	for i := 0; i < 10; i++ {
+		if f1.Float64() != f2.Float64() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("forked streams are identical")
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	g := NewRNG(1)
+	const rate = 0.25
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := g.Exponential(rate)
+		if v < 0 {
+			t.Fatal("negative exponential variate")
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1/rate) > 0.05*(1/rate) {
+		t.Errorf("exponential mean = %v, want ≈ %v", mean, 1/rate)
+	}
+}
+
+func TestExponentialBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on rate <= 0")
+		}
+	}()
+	NewRNG(1).Exponential(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	g := NewRNG(2)
+	for _, mean := range []float64{0, 0.5, 3, 29.9, 30, 100, 450} {
+		const n = 20000
+		var sum, sq float64
+		for i := 0; i < n; i++ {
+			v := float64(g.Poisson(mean))
+			sum += v
+			sq += v * v
+		}
+		m := sum / n
+		variance := sq/n - m*m
+		tol := 0.06*mean + 0.05
+		if math.Abs(m-mean) > tol {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		if mean > 0 && math.Abs(variance-mean) > 0.15*mean+0.1 {
+			t.Errorf("Poisson(%v) variance = %v", mean, variance)
+		}
+	}
+}
+
+func TestPoissonNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative mean")
+		}
+	}()
+	NewRNG(1).Poisson(-1)
+}
+
+func TestBernoulli(t *testing.T) {
+	g := NewRNG(3)
+	if g.Bernoulli(0) {
+		t.Error("Bernoulli(0) returned true")
+	}
+	if !g.Bernoulli(1) {
+		t.Error("Bernoulli(1) returned false")
+	}
+	n, hits := 100000, 0
+	for i := 0; i < n; i++ {
+		if g.Bernoulli(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(n)
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bernoulli(0.3) frequency = %v", p)
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	g := NewRNG(4)
+	for i := 0; i < 1000; i++ {
+		v := g.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+		k := g.UniformInt(3, 7)
+		if k < 3 || k > 7 {
+			t.Fatalf("UniformInt out of range: %d", k)
+		}
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	g := NewRNG(5)
+	const n = 50
+	counts := make([]int, n)
+	for i := 0; i < 100000; i++ {
+		counts[g.Zipf(n, 1.2)]++
+	}
+	// Rank 0 must dominate, and counts must (roughly) decrease.
+	if counts[0] <= counts[10] {
+		t.Errorf("Zipf rank 0 (%d) not dominant over rank 10 (%d)", counts[0], counts[10])
+	}
+	if counts[1] <= counts[30] {
+		t.Errorf("Zipf not heavy-headed: rank1=%d rank30=%d", counts[1], counts[30])
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	g := NewRNG(6)
+	s := g.SampleWithoutReplacement(10, 5)
+	if len(s) != 5 {
+		t.Fatalf("sample len = %d", len(s))
+	}
+	seen := map[int]bool{}
+	for _, v := range s {
+		if v < 0 || v >= 10 {
+			t.Fatalf("sample value out of range: %d", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate sample value: %d", v)
+		}
+		seen[v] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic when k > n")
+		}
+	}()
+	g.SampleWithoutReplacement(3, 4)
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	g := NewRNG(8)
+	for i := 0; i < 1000; i++ {
+		if g.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}

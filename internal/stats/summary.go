@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs; it returns 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance; it returns 0 for inputs
+// with fewer than two values.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics.
+func Quantile(xs []float64, q float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, errors.New("stats: quantile of empty slice")
+	}
+	if q < 0 || q > 1 {
+		return 0, errors.New("stats: quantile out of [0,1]")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0], nil
+	}
+	pos := q * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo], nil
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac, nil
+}
+
+// Max returns the maximum of xs; it returns -Inf for empty input.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Min returns the minimum of xs; it returns +Inf for empty input.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Sum returns the sum of xs.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// RelativeError returns |predicted − actual| / |actual|. When actual is
+// zero it returns |predicted| (the absolute error), which keeps prediction
+// error series well-defined on sparse domains.
+func RelativeError(predicted, actual float64) float64 {
+	if actual == 0 {
+		return math.Abs(predicted)
+	}
+	return math.Abs(predicted-actual) / math.Abs(actual)
+}
+
+// Histogram is a fixed-width binned count of observations, used for the
+// delay histograms of Figure 7 and the fit plots of Figures 5–6.
+type Histogram struct {
+	Lo, Hi float64
+	Width  float64
+	Counts []int
+	N      int
+}
+
+// NewHistogram builds a histogram of xs over [lo, hi) with the given number
+// of equal-width bins. Values outside the range are clamped into the first
+// or last bin so the histogram always accounts for every observation.
+func NewHistogram(xs []float64, lo, hi float64, bins int) (*Histogram, error) {
+	if bins <= 0 {
+		return nil, errors.New("stats: histogram needs at least one bin")
+	}
+	if hi <= lo {
+		return nil, errors.New("stats: histogram needs hi > lo")
+	}
+	h := &Histogram{Lo: lo, Hi: hi, Width: (hi - lo) / float64(bins), Counts: make([]int, bins)}
+	for _, x := range xs {
+		i := int((x - lo) / h.Width)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		h.Counts[i]++
+		h.N++
+	}
+	return h, nil
+}
+
+// Density returns the normalized height of bin i (fraction of mass).
+func (h *Histogram) Density(i int) float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.N)
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	return h.Lo + (float64(i)+0.5)*h.Width
+}

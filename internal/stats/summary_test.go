@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v, want 5", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", v, 32.0/7)
+	}
+	if StdDev(xs) != math.Sqrt(32.0/7) {
+		t.Error("StdDev mismatch")
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {1.0 / 3, 2},
+	}
+	for _, c := range cases {
+		got, err := Quantile(xs, c.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("want error on empty input")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("want error on q out of range")
+	}
+	if got, _ := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single-element quantile = %v", got)
+	}
+}
+
+func TestMinMaxSum(t *testing.T) {
+	xs := []float64{3, -1, 2}
+	if Max(xs) != 3 || Min(xs) != -1 || Sum(xs) != 4 {
+		t.Error("Min/Max/Sum mismatch")
+	}
+	if !math.IsInf(Max(nil), -1) || !math.IsInf(Min(nil), 1) {
+		t.Error("empty Min/Max should be infinities")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	if got := RelativeError(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(90, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelativeError = %v", got)
+	}
+	if got := RelativeError(5, 0); got != 5 {
+		t.Errorf("RelativeError with zero actual = %v", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0.1, 0.9, 1.5, 2.5, 3.5, -1, 10}
+	h, err := NewHistogram(xs, 0, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bins: [0,1): 0.1, 0.9, -1(clamped) = 3; [1,2): 1.5; [2,3): 2.5; [3,4): 3.5, 10(clamped).
+	want := []int{3, 1, 1, 2}
+	for i, w := range want {
+		if h.Counts[i] != w {
+			t.Errorf("bin %d = %d, want %d", i, h.Counts[i], w)
+		}
+	}
+	if h.N != len(xs) {
+		t.Errorf("N = %d", h.N)
+	}
+	if math.Abs(h.Density(0)-3.0/7) > 1e-12 {
+		t.Errorf("Density(0) = %v", h.Density(0))
+	}
+	if h.BinCenter(1) != 1.5 {
+		t.Errorf("BinCenter(1) = %v", h.BinCenter(1))
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(nil, 0, 1, 0); err == nil {
+		t.Error("want error on zero bins")
+	}
+	if _, err := NewHistogram(nil, 1, 1, 3); err == nil {
+		t.Error("want error on hi <= lo")
+	}
+}

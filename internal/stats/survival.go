@@ -1,0 +1,212 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// This file extends the survival-analysis toolkit beyond the Kaplan–Meier
+// point estimate: the Nelson–Aalen cumulative-hazard estimator (a common
+// alternative with better small-sample behaviour in the tail) and
+// Greenwood's variance formula with log-transformed pointwise confidence
+// bands for the KM estimator. The bands quantify how much to trust a
+// source's learned effectiveness distribution — thin-history sources get
+// wide bands, which is what motivates the cold-start shrinkage in package
+// estimate.
+
+// NelsonAalen is the cumulative-hazard estimator Ĥ(t) = Σ_{t_i ≤ t} d_i/n_i
+// with the derived survival estimate S̃(t) = exp(−Ĥ(t)).
+type NelsonAalen struct {
+	times  []float64
+	hazard []float64 // cumulative hazard at and after times[i]
+	n      int
+}
+
+// NewNelsonAalen builds the estimator from censored durations.
+func NewNelsonAalen(obs []Duration) (*NelsonAalen, error) {
+	if len(obs) == 0 {
+		return nil, errors.New("stats: NelsonAalen with no observations")
+	}
+	sorted := make([]Duration, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value < sorted[j].Value
+		}
+		return !sorted[i].Censored && sorted[j].Censored
+	})
+	na := &NelsonAalen{n: len(obs)}
+	atRisk := len(sorted)
+	cum := 0.0
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Value
+		deaths, censored := 0, 0
+		for i < len(sorted) && sorted[i].Value == t {
+			if sorted[i].Censored {
+				censored++
+			} else {
+				deaths++
+			}
+			i++
+		}
+		if deaths > 0 {
+			cum += float64(deaths) / float64(atRisk)
+			na.times = append(na.times, t)
+			na.hazard = append(na.hazard, cum)
+		}
+		atRisk -= deaths + censored
+	}
+	return na, nil
+}
+
+// CumulativeHazard returns Ĥ(tau).
+func (na *NelsonAalen) CumulativeHazard(tau float64) float64 {
+	i := sort.SearchFloat64s(na.times, tau)
+	if i < len(na.times) && na.times[i] == tau {
+		return na.hazard[i]
+	}
+	if i == 0 {
+		return 0
+	}
+	return na.hazard[i-1]
+}
+
+// Survival returns the Fleming–Harrington survival estimate exp(−Ĥ(tau)).
+func (na *NelsonAalen) Survival(tau float64) float64 {
+	return math.Exp(-na.CumulativeHazard(tau))
+}
+
+// CDF returns 1 − Survival(tau).
+func (na *NelsonAalen) CDF(tau float64) float64 { return 1 - na.Survival(tau) }
+
+// N returns the number of observations.
+func (na *NelsonAalen) N() int { return na.n }
+
+// KMConfidence augments a Kaplan–Meier estimator with Greenwood variances
+// and log-transformed pointwise confidence bands.
+type KMConfidence struct {
+	km *KaplanMeier
+	// varFactor holds Greenwood's Σ d_i/(n_i(n_i−d_i)) at each KM step.
+	varFactor []float64
+	z         float64
+}
+
+// NewKMConfidence computes Greenwood factors for the observations at the
+// given confidence level (e.g. 0.95).
+func NewKMConfidence(obs []Duration, level float64) (*KMConfidence, error) {
+	if level <= 0 || level >= 1 {
+		return nil, errors.New("stats: confidence level outside (0,1)")
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		return nil, err
+	}
+	sorted := make([]Duration, len(obs))
+	copy(sorted, obs)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Value != sorted[j].Value {
+			return sorted[i].Value < sorted[j].Value
+		}
+		return !sorted[i].Censored && sorted[j].Censored
+	})
+	kc := &KMConfidence{km: km, z: normalQuantile((1 + level) / 2)}
+	atRisk := len(sorted)
+	cum := 0.0
+	i := 0
+	for i < len(sorted) {
+		t := sorted[i].Value
+		deaths, censored := 0, 0
+		for i < len(sorted) && sorted[i].Value == t {
+			if sorted[i].Censored {
+				censored++
+			} else {
+				deaths++
+			}
+			i++
+		}
+		if deaths > 0 {
+			if atRisk > deaths {
+				cum += float64(deaths) / (float64(atRisk) * float64(atRisk-deaths))
+			}
+			kc.varFactor = append(kc.varFactor, cum)
+		}
+		atRisk -= deaths + censored
+	}
+	return kc, nil
+}
+
+// KM returns the underlying point estimator.
+func (kc *KMConfidence) KM() *KaplanMeier { return kc.km }
+
+// Band returns the lower and upper confidence bounds of the CDF at tau,
+// using the log(−log) transform which keeps bounds inside [0, 1].
+func (kc *KMConfidence) Band(tau float64) (lo, hi float64) {
+	i := sort.SearchFloat64s(kc.km.times, tau)
+	if i < len(kc.km.times) && kc.km.times[i] == tau {
+		i++
+	}
+	if i == 0 {
+		return 0, 0
+	}
+	step := i - 1
+	s := 1 - kc.km.cdf[step] // survival point estimate
+	if s <= 0 {
+		return kc.km.cdf[step], kc.km.cdf[step]
+	}
+	if s >= 1 {
+		return 0, 0
+	}
+	v := kc.varFactor[step]
+	// Var[log(−log S)] ≈ v / (log S)².
+	logS := math.Log(s)
+	se := math.Sqrt(v) / math.Abs(logS)
+	theta := math.Exp(kc.z * se)
+	sLo := math.Pow(s, theta)   // lower survival → upper CDF
+	sHi := math.Pow(s, 1/theta) // upper survival → lower CDF
+	return clampUnit(1 - sHi), clampUnit(1 - sLo)
+}
+
+func clampUnit(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// normalQuantile computes the standard normal quantile via the
+// Beasley–Springer–Moro rational approximation (|error| < 3e-9), enough
+// for confidence bands.
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return math.NaN()
+	}
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+		1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+		6.680131188771972e+01, -1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+		-2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+		3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

@@ -1,0 +1,199 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNelsonAalenBasic(t *testing.T) {
+	// Events at 1, 2 with 3 at risk then 2: Ĥ(1) = 1/3, Ĥ(2) = 1/3 + 1/2.
+	obs := []Duration{{Value: 1}, {Value: 2}, {Value: 3, Censored: true}}
+	na, err := NewNelsonAalen(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := na.CumulativeHazard(0.5); got != 0 {
+		t.Errorf("H(0.5) = %v", got)
+	}
+	if got := na.CumulativeHazard(1); math.Abs(got-1.0/3) > 1e-12 {
+		t.Errorf("H(1) = %v", got)
+	}
+	if got := na.CumulativeHazard(2.5); math.Abs(got-(1.0/3+0.5)) > 1e-12 {
+		t.Errorf("H(2.5) = %v", got)
+	}
+	if na.N() != 3 {
+		t.Errorf("N = %d", na.N())
+	}
+	if na.CDF(2)+na.Survival(2) != 1 {
+		t.Error("CDF/Survival complement broken")
+	}
+}
+
+func TestNelsonAalenEmpty(t *testing.T) {
+	if _, err := NewNelsonAalen(nil); err == nil {
+		t.Error("want error")
+	}
+}
+
+func TestNelsonAalenCloseToKM(t *testing.T) {
+	// On the same censored sample both estimators approximate the true
+	// distribution and must agree closely with each other.
+	g := NewRNG(61)
+	var obs []Duration
+	for i := 0; i < 20000; i++ {
+		v := g.Exponential(0.1)
+		if v > 15 {
+			obs = append(obs, Duration{Value: 15, Censored: true})
+		} else {
+			obs = append(obs, Duration{Value: v})
+		}
+	}
+	km, err := NewKaplanMeier(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	na, err := NewNelsonAalen(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tau := range []float64{1, 4, 8, 12} {
+		if diff := math.Abs(km.CDF(tau) - na.CDF(tau)); diff > 0.01 {
+			t.Errorf("tau %v: KM %v vs NA %v", tau, km.CDF(tau), na.CDF(tau))
+		}
+		want := 1 - math.Exp(-0.1*tau)
+		if diff := math.Abs(na.CDF(tau) - want); diff > 0.02 {
+			t.Errorf("tau %v: NA %v vs true %v", tau, na.CDF(tau), want)
+		}
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0}, {0.975, 1.959964}, {0.025, -1.959964}, {0.995, 2.575829}, {0.841344746, 1.0},
+	}
+	for _, c := range cases {
+		if got := normalQuantile(c.p); math.Abs(got-c.want) > 1e-4 {
+			t.Errorf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsNaN(normalQuantile(0)) || !math.IsNaN(normalQuantile(1)) {
+		t.Error("degenerate quantiles should be NaN")
+	}
+}
+
+func TestKMConfidenceBandsContainEstimate(t *testing.T) {
+	g := NewRNG(67)
+	var obs []Duration
+	for i := 0; i < 500; i++ {
+		v := g.Exponential(0.2)
+		if v > 10 {
+			obs = append(obs, Duration{Value: 10, Censored: true})
+		} else {
+			obs = append(obs, Duration{Value: v})
+		}
+	}
+	kc, err := NewKMConfidence(obs, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tau := 0.5; tau < 10; tau += 0.5 {
+		lo, hi := kc.Band(tau)
+		est := kc.KM().CDF(tau)
+		if lo > est+1e-12 || hi < est-1e-12 {
+			t.Fatalf("band [%v,%v] does not contain estimate %v at %v", lo, hi, est, tau)
+		}
+		if lo < 0 || hi > 1 {
+			t.Fatalf("band outside [0,1] at %v", tau)
+		}
+	}
+}
+
+func TestKMConfidenceBandsShrinkWithN(t *testing.T) {
+	width := func(n int) float64 {
+		g := NewRNG(71)
+		var obs []Duration
+		for i := 0; i < n; i++ {
+			obs = append(obs, Duration{Value: g.Exponential(0.2)})
+		}
+		kc, err := NewKMConfidence(obs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := kc.Band(3)
+		return hi - lo
+	}
+	small, large := width(50), width(5000)
+	if large >= small {
+		t.Errorf("bands did not shrink: n=50 width %v, n=5000 width %v", small, large)
+	}
+}
+
+func TestKMConfidenceCoverage(t *testing.T) {
+	// Frequentist sanity: over many replications the 95% band should
+	// contain the true CDF most of the time (allow slack: small n, step
+	// function).
+	const rate = 0.15
+	const tau = 5.0
+	trueCDF := 1 - math.Exp(-rate*tau)
+	covered, trials := 0, 200
+	g := NewRNG(73)
+	for tr := 0; tr < trials; tr++ {
+		var obs []Duration
+		for i := 0; i < 120; i++ {
+			obs = append(obs, Duration{Value: g.Exponential(rate)})
+		}
+		kc, err := NewKMConfidence(obs, 0.95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lo, hi := kc.Band(tau)
+		if trueCDF >= lo && trueCDF <= hi {
+			covered++
+		}
+	}
+	if frac := float64(covered) / float64(trials); frac < 0.85 {
+		t.Errorf("coverage %v below nominal 0.95", frac)
+	}
+}
+
+func TestKMConfidenceValidation(t *testing.T) {
+	obs := []Duration{{Value: 1}}
+	if _, err := NewKMConfidence(obs, 0); err == nil {
+		t.Error("want error for level 0")
+	}
+	if _, err := NewKMConfidence(obs, 1); err == nil {
+		t.Error("want error for level 1")
+	}
+	if _, err := NewKMConfidence(nil, 0.9); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestQuickNelsonAalenMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		obs := make([]Duration, n)
+		for i := range obs {
+			obs[i] = Duration{Value: float64(r.Intn(15)) + r.Float64(), Censored: r.Intn(3) == 0}
+		}
+		na, err := NewNelsonAalen(obs)
+		if err != nil {
+			return false
+		}
+		prev := -1.0
+		for tau := 0.0; tau < 20; tau += 0.5 {
+			h := na.CumulativeHazard(tau)
+			if h < prev || h < 0 {
+				return false
+			}
+			prev = h
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,183 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// WeibullModel is a fitted Weibull distribution for durations:
+// P[T ≤ x] = 1 − exp(−(x/Scale)^Shape). Shape = 1 reduces to the
+// exponential distribution, so fitting a Weibull and inspecting the shape
+// parameter is the natural test of the paper's exponential-lifespan
+// assumption (Section 4.1.1): shape ≈ 1 supports it, shape < 1 indicates
+// infant mortality, shape > 1 aging.
+type WeibullModel struct {
+	Shape float64 // k
+	Scale float64 // λ
+	// Events and Censored count the observations used.
+	Events   int
+	Censored int
+	// LogLik is the maximized log-likelihood (for AIC comparisons).
+	LogLik float64
+}
+
+// FitWeibull computes the maximum-likelihood Weibull parameters from exact
+// and right-censored durations, via Newton iteration on the profile
+// likelihood of the shape parameter. Zero durations are clamped to a small
+// positive value (they carry no shape information in log space).
+func FitWeibull(obs []Duration) (WeibullModel, error) {
+	var xs []float64  // all durations
+	var del []float64 // 1 for events, 0 for censored
+	events := 0
+	for _, o := range obs {
+		v := o.Value
+		if v < 0 {
+			return WeibullModel{}, errors.New("stats: negative duration")
+		}
+		if v == 0 {
+			v = 1e-9
+		}
+		xs = append(xs, v)
+		if o.Censored {
+			del = append(del, 0)
+		} else {
+			del = append(del, 1)
+			events++
+		}
+	}
+	if len(xs) == 0 {
+		return WeibullModel{}, errors.New("stats: FitWeibull with no observations")
+	}
+	if events == 0 {
+		return WeibullModel{}, errors.New("stats: FitWeibull requires at least one uncensored event")
+	}
+
+	// Profile likelihood: for fixed shape k the MLE scale is
+	// λ^k = Σ x_i^k / d (d = number of events). The score equation for k is
+	//   d/k + Σ δ_i ln x_i − d·(Σ x_i^k ln x_i)/(Σ x_i^k) = 0.
+	d := float64(events)
+	var sumLnEvents float64
+	for i, x := range xs {
+		if del[i] == 1 {
+			sumLnEvents += math.Log(x)
+		}
+	}
+	score := func(k float64) float64 {
+		var sxk, sxkln float64
+		for _, x := range xs {
+			xk := math.Pow(x, k)
+			sxk += xk
+			sxkln += xk * math.Log(x)
+		}
+		return d/k + sumLnEvents - d*sxkln/sxk
+	}
+
+	// Bracket the root: score is decreasing in k.
+	lo, hi := 1e-3, 1.0
+	for score(hi) > 0 && hi < 1e3 {
+		hi *= 2
+	}
+	if score(hi) > 0 {
+		return WeibullModel{}, errors.New("stats: Weibull shape did not converge")
+	}
+	// Bisection — robust on censored data where Newton can overshoot.
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if score(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*hi {
+			break
+		}
+	}
+	k := (lo + hi) / 2
+
+	var sxk float64
+	for _, x := range xs {
+		sxk += math.Pow(x, k)
+	}
+	scale := math.Pow(sxk/d, 1/k)
+
+	m := WeibullModel{Shape: k, Scale: scale, Events: events, Censored: len(xs) - events}
+	m.LogLik = weibullLogLik(xs, del, k, scale)
+	return m, nil
+}
+
+func weibullLogLik(xs, del []float64, k, scale float64) float64 {
+	var ll float64
+	for i, x := range xs {
+		z := x / scale
+		zk := math.Pow(z, k)
+		if del[i] == 1 {
+			ll += math.Log(k/scale) + (k-1)*math.Log(z) - zk
+		} else {
+			ll += -zk
+		}
+	}
+	return ll
+}
+
+// CDF returns P[T ≤ x].
+func (m WeibullModel) CDF(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	return 1 - math.Exp(-math.Pow(x/m.Scale, m.Shape))
+}
+
+// Survival returns P[T > x].
+func (m WeibullModel) Survival(x float64) float64 { return 1 - m.CDF(x) }
+
+// Mean returns E[T] = λ·Γ(1 + 1/k).
+func (m WeibullModel) Mean() float64 {
+	return m.Scale * math.Gamma(1+1/m.Shape)
+}
+
+// AIC returns Akaike's information criterion (2 parameters).
+func (m WeibullModel) AIC() float64 { return 2*2 - 2*m.LogLik }
+
+// ExponentialLogLik computes the censored-data log-likelihood of an
+// exponential model, for AIC comparison against a Weibull fit.
+func ExponentialLogLik(obs []Duration, m ExponentialModel) float64 {
+	var ll float64
+	for _, o := range obs {
+		if o.Censored {
+			ll += -m.Rate * o.Value
+		} else {
+			ll += math.Log(m.Rate) - m.Rate*o.Value
+		}
+	}
+	return ll
+}
+
+// LifespanModelChoice compares the exponential and Weibull fits of the same
+// censored durations by AIC — the model-validation step behind the paper's
+// assumption that lifespans are exponential.
+type LifespanModelChoice struct {
+	Exponential ExponentialModel
+	Weibull     WeibullModel
+	ExpAIC      float64
+	WeibullAIC  float64
+	// PreferWeibull is true when the Weibull fit is decisively better
+	// (AIC lower by more than 2).
+	PreferWeibull bool
+}
+
+// ChooseLifespanModel fits both models and compares them.
+func ChooseLifespanModel(obs []Duration) (LifespanModelChoice, error) {
+	em, err := FitExponential(obs)
+	if err != nil {
+		return LifespanModelChoice{}, err
+	}
+	wm, err := FitWeibull(obs)
+	if err != nil {
+		return LifespanModelChoice{}, err
+	}
+	c := LifespanModelChoice{Exponential: em, Weibull: wm}
+	c.ExpAIC = 2*1 - 2*ExponentialLogLik(obs, em)
+	c.WeibullAIC = wm.AIC()
+	c.PreferWeibull = c.WeibullAIC < c.ExpAIC-2
+	return c, nil
+}

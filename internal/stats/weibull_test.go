@@ -1,0 +1,157 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// weibullSample draws a Weibull variate by inversion.
+func weibullSample(g *RNG, shape, scale float64) float64 {
+	u := g.Float64()
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
+func TestFitWeibullRecoversParameters(t *testing.T) {
+	g := NewRNG(41)
+	for _, c := range []struct{ shape, scale float64 }{
+		{1.0, 50}, {0.7, 30}, {2.5, 100},
+	} {
+		var obs []Duration
+		for i := 0; i < 20000; i++ {
+			obs = append(obs, Duration{Value: weibullSample(g, c.shape, c.scale)})
+		}
+		m, err := FitWeibull(obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(m.Shape-c.shape) > 0.05*c.shape {
+			t.Errorf("shape = %v, want ≈ %v", m.Shape, c.shape)
+		}
+		if math.Abs(m.Scale-c.scale) > 0.05*c.scale {
+			t.Errorf("scale = %v, want ≈ %v", m.Scale, c.scale)
+		}
+	}
+}
+
+func TestFitWeibullCensored(t *testing.T) {
+	g := NewRNG(43)
+	const shape, scale = 1.5, 40.0
+	const horizon = 50.0
+	var obs []Duration
+	for i := 0; i < 30000; i++ {
+		v := weibullSample(g, shape, scale)
+		if v > horizon {
+			obs = append(obs, Duration{Value: horizon, Censored: true})
+		} else {
+			obs = append(obs, Duration{Value: v})
+		}
+	}
+	m, err := FitWeibull(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Shape-shape) > 0.1*shape {
+		t.Errorf("censored shape = %v, want ≈ %v", m.Shape, shape)
+	}
+	if math.Abs(m.Scale-scale) > 0.1*scale {
+		t.Errorf("censored scale = %v, want ≈ %v", m.Scale, scale)
+	}
+	if m.Censored == 0 || m.Events == 0 {
+		t.Error("censoring accounting wrong")
+	}
+}
+
+func TestFitWeibullErrors(t *testing.T) {
+	if _, err := FitWeibull(nil); err == nil {
+		t.Error("want error on empty input")
+	}
+	if _, err := FitWeibull([]Duration{{Value: 5, Censored: true}}); err == nil {
+		t.Error("want error on all-censored input")
+	}
+	if _, err := FitWeibull([]Duration{{Value: -1}}); err == nil {
+		t.Error("want error on negative duration")
+	}
+}
+
+func TestWeibullCDFProperties(t *testing.T) {
+	m := WeibullModel{Shape: 2, Scale: 10}
+	if m.CDF(0) != 0 || m.CDF(-5) != 0 {
+		t.Error("CDF at non-positive x")
+	}
+	prev := 0.0
+	for x := 0.5; x < 60; x += 0.5 {
+		v := m.CDF(x)
+		if v < prev || v > 1 {
+			t.Fatalf("CDF not a valid distribution at %v", x)
+		}
+		prev = v
+	}
+	if math.Abs(m.CDF(10)-(1-math.Exp(-1))) > 1e-12 {
+		t.Error("CDF at scale point wrong")
+	}
+	if math.Abs(m.Survival(10)+m.CDF(10)-1) > 1e-12 {
+		t.Error("survival complement")
+	}
+	// Mean of Weibull(2, 10) = 10·Γ(1.5) = 10·√π/2.
+	if math.Abs(m.Mean()-10*math.Sqrt(math.Pi)/2) > 1e-9 {
+		t.Errorf("Mean = %v", m.Mean())
+	}
+}
+
+func TestWeibullShapeOneIsExponential(t *testing.T) {
+	m := WeibullModel{Shape: 1, Scale: 20}
+	e := ExponentialModel{Rate: 1.0 / 20}
+	for _, x := range []float64{1, 5, 20, 60} {
+		if math.Abs(m.CDF(x)-e.CDF(x)) > 1e-12 {
+			t.Errorf("CDF(%v): weibull %v vs exponential %v", x, m.CDF(x), e.CDF(x))
+		}
+	}
+}
+
+func TestChooseLifespanModelExponentialData(t *testing.T) {
+	g := NewRNG(47)
+	var obs []Duration
+	for i := 0; i < 10000; i++ {
+		v := g.Exponential(0.05)
+		if v > 60 {
+			obs = append(obs, Duration{Value: 60, Censored: true})
+		} else {
+			obs = append(obs, Duration{Value: v})
+		}
+	}
+	c, err := ChooseLifespanModel(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.PreferWeibull {
+		t.Errorf("exponential data should not decisively prefer Weibull (AIC exp %v vs weibull %v, shape %v)",
+			c.ExpAIC, c.WeibullAIC, c.Weibull.Shape)
+	}
+	if math.Abs(c.Weibull.Shape-1) > 0.07 {
+		t.Errorf("shape on exponential data = %v, want ≈ 1", c.Weibull.Shape)
+	}
+}
+
+func TestChooseLifespanModelWeibullData(t *testing.T) {
+	g := NewRNG(53)
+	var obs []Duration
+	for i := 0; i < 10000; i++ {
+		obs = append(obs, Duration{Value: weibullSample(g, 2.5, 50)})
+	}
+	c, err := ChooseLifespanModel(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.PreferWeibull {
+		t.Errorf("strongly Weibull data should prefer Weibull (AIC exp %v vs weibull %v)", c.ExpAIC, c.WeibullAIC)
+	}
+}
+
+func TestExponentialLogLik(t *testing.T) {
+	obs := []Duration{{Value: 2}, {Value: 3, Censored: true}}
+	m := ExponentialModel{Rate: 0.5}
+	want := math.Log(0.5) - 0.5*2 - 0.5*3
+	if got := ExponentialLogLik(obs, m); math.Abs(got-want) > 1e-12 {
+		t.Errorf("loglik = %v, want %v", got, want)
+	}
+}

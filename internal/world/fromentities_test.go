@@ -1,0 +1,90 @@
+package world
+
+import (
+	"testing"
+
+	"freshsource/internal/timeline"
+)
+
+func validEntities() []Entity {
+	return []Entity{
+		{ID: 0, Point: DomainPoint{Location: 0, Category: 0}, Born: 0, Died: 50, Updates: []timeline.Tick{10, 20}, Visibility: 1},
+		{ID: 1, Point: DomainPoint{Location: 0, Category: 1}, Born: 5, Died: -1, Visibility: 0.5},
+		{ID: 2, Point: DomainPoint{Location: 0, Category: 0}, Born: 30, Died: -1, Visibility: 1},
+	}
+}
+
+func TestFromEntitiesRoundTrip(t *testing.T) {
+	w, err := FromEntities(validEntities(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumEntities() != 3 || w.Horizon() != 100 {
+		t.Fatalf("shape wrong: %d entities, horizon %d", w.NumEntities(), w.Horizon())
+	}
+	// Log replays to the right state.
+	snap := timeline.Materialize(w.Log(), 25)
+	if !snap.Contains(0) || snap.States[0].Version != 2 {
+		t.Errorf("entity 0 state@25 = %+v", snap.States[0])
+	}
+	snap = timeline.Materialize(w.Log(), 60)
+	if snap.Contains(0) {
+		t.Error("entity 0 should be dead at 60")
+	}
+	if got := w.AliveCount(60, nil); got != 2 {
+		t.Errorf("alive@60 = %d", got)
+	}
+	// Point index rebuilt.
+	if got := len(w.EntitiesOf(DomainPoint{Location: 0, Category: 0})); got != 2 {
+		t.Errorf("point index = %d", got)
+	}
+	if len(w.Points()) != 2 {
+		t.Errorf("points = %v", w.Points())
+	}
+}
+
+func TestFromEntitiesMatchesGenerate(t *testing.T) {
+	// Rebuilding a generated world from its own entity records must
+	// reproduce the log exactly.
+	orig, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entities := append([]Entity(nil), orig.Entities()...)
+	re, err := FromEntities(entities, orig.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Log().Len() != orig.Log().Len() {
+		t.Fatalf("log %d != %d", re.Log().Len(), orig.Log().Len())
+	}
+	a, b := orig.Log().Events(), re.Log().Events()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d: %+v != %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestFromEntitiesValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(es []Entity) []Entity
+		horizon timeline.Tick
+	}{
+		{"zero horizon", func(es []Entity) []Entity { return es }, 0},
+		{"empty", func([]Entity) []Entity { return nil }, 100},
+		{"non-dense ids", func(es []Entity) []Entity { es[1].ID = 7; return es }, 100},
+		{"born outside", func(es []Entity) []Entity { es[0].Born = 100; return es }, 100},
+		{"died before birth", func(es []Entity) []Entity { es[0].Died = 0; return es }, 100},
+		{"bad visibility", func(es []Entity) []Entity { es[0].Visibility = 0; return es }, 100},
+		{"visibility above one", func(es []Entity) []Entity { es[0].Visibility = 1.5; return es }, 100},
+		{"update before birth", func(es []Entity) []Entity { es[0].Updates = []timeline.Tick{0}; return es }, 100},
+		{"update after death", func(es []Entity) []Entity { es[0].Updates = []timeline.Tick{55}; return es }, 100},
+	}
+	for _, c := range cases {
+		if _, err := FromEntities(c.mutate(validEntities()), c.horizon); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}

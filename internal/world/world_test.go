@@ -1,0 +1,260 @@
+package world
+
+import (
+	"math"
+	"testing"
+
+	"freshsource/internal/stats"
+	"freshsource/internal/timeline"
+)
+
+func smallConfig() Config {
+	return Config{
+		Subdomains: []SubdomainSpec{
+			{Point: DomainPoint{0, 0}, InitialEntities: 200, LambdaAppear: 3, GammaDisappear: 0.01, GammaUpdate: 0.05},
+			{Point: DomainPoint{0, 1}, InitialEntities: 100, LambdaAppear: 1, GammaDisappear: 0.02, GammaUpdate: 0.02},
+		},
+		Horizon: 300,
+		Seed:    42,
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	if _, err := Generate(Config{Horizon: 0}); err == nil {
+		t.Error("want error on zero horizon")
+	}
+	if _, err := Generate(Config{Horizon: 10}); err == nil {
+		t.Error("want error on no subdomains")
+	}
+	bad := smallConfig()
+	bad.Subdomains[0].LambdaAppear = -1
+	if _, err := Generate(bad); err == nil {
+		t.Error("want error on negative rate")
+	}
+	dup := smallConfig()
+	dup.Subdomains[1].Point = dup.Subdomains[0].Point
+	if _, err := Generate(dup); err == nil {
+		t.Error("want error on duplicate subdomain")
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	w1, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1.NumEntities() != w2.NumEntities() || w1.Log().Len() != w2.Log().Len() {
+		t.Error("generation is not deterministic")
+	}
+}
+
+func TestEntityInvariants(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.NumEntities() == 0 {
+		t.Fatal("no entities generated")
+	}
+	for _, e := range w.Entities() {
+		if e.Died >= 0 && e.Died <= e.Born {
+			t.Fatalf("entity %d died (%d) not after birth (%d)", e.ID, e.Died, e.Born)
+		}
+		prev := e.Born
+		for _, u := range e.Updates {
+			if u <= prev {
+				t.Fatalf("entity %d updates not strictly increasing after birth", e.ID)
+			}
+			if e.Died >= 0 && u >= e.Died {
+				t.Fatalf("entity %d updated at/after death", e.ID)
+			}
+			prev = u
+		}
+		if e.Died >= w.Horizon() {
+			t.Fatalf("entity %d death beyond horizon recorded as %d", e.ID, e.Died)
+		}
+	}
+}
+
+func TestVersionAtAndAlive(t *testing.T) {
+	e := Entity{ID: 1, Born: 10, Died: 50, Updates: []timeline.Tick{20, 30}}
+	if e.Alive(9) || !e.Alive(10) || !e.Alive(49) || e.Alive(50) {
+		t.Error("Alive boundaries wrong")
+	}
+	if v, ok := e.VersionAt(10); !ok || v != 0 {
+		t.Errorf("version@10 = %d,%v", v, ok)
+	}
+	if v, ok := e.VersionAt(20); !ok || v != 1 {
+		t.Errorf("version@20 = %d,%v", v, ok)
+	}
+	if v, ok := e.VersionAt(45); !ok || v != 2 {
+		t.Errorf("version@45 = %d,%v", v, ok)
+	}
+	if _, ok := e.VersionAt(50); ok {
+		t.Error("dead entity has a version")
+	}
+	forever := Entity{ID: 2, Born: 0, Died: -1}
+	if !forever.Alive(1000) {
+		t.Error("immortal entity should be alive")
+	}
+}
+
+func TestLogMatchesEntities(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The snapshot at the horizon must equal the set of alive entities.
+	at := w.Horizon() - 1
+	snap := timeline.Materialize(w.Log(), at)
+	aliveWant := 0
+	for _, e := range w.Entities() {
+		if e.Alive(at) {
+			aliveWant++
+			st, ok := snap.States[e.ID]
+			if !ok {
+				t.Fatalf("alive entity %d missing from snapshot", e.ID)
+			}
+			v, _ := e.VersionAt(at)
+			if st.Version != v {
+				t.Fatalf("entity %d snapshot version %d != ground truth %d", e.ID, st.Version, v)
+			}
+		} else if snap.Contains(e.ID) {
+			t.Fatalf("dead entity %d present in snapshot", e.ID)
+		}
+	}
+	if snap.Size() != aliveWant {
+		t.Fatalf("snapshot size %d != alive %d", snap.Size(), aliveWant)
+	}
+	if w.AliveCount(at, nil) != aliveWant {
+		t.Fatalf("AliveCount %d != %d", w.AliveCount(at, nil), aliveWant)
+	}
+}
+
+func TestAliveCountByPoint(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0, p1 := DomainPoint{0, 0}, DomainPoint{0, 1}
+	at := timeline.Tick(100)
+	total := w.AliveCount(at, nil)
+	sum := w.AliveCount(at, []DomainPoint{p0}) + w.AliveCount(at, []DomainPoint{p1})
+	if total != sum {
+		t.Errorf("per-point alive counts %d don't sum to total %d", sum, total)
+	}
+	if got := w.AliveCount(at, []DomainPoint{p0, p1}); got != total {
+		t.Errorf("multi-point AliveCount = %d, want %d", got, total)
+	}
+}
+
+func TestAppearanceCountsMatchPoisson(t *testing.T) {
+	cfg := Config{
+		Subdomains: []SubdomainSpec{{Point: DomainPoint{0, 0}, LambdaAppear: 8, GammaDisappear: 0.005, GammaUpdate: 0}},
+		Horizon:    2000,
+		Seed:       7,
+	}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := w.AppearanceCounts(1, w.Horizon(), nil)
+	m, err := stats.FitPoisson(counts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Lambda-8) > 0.3 {
+		t.Errorf("fitted appearance rate = %v, want ≈ 8", m.Lambda)
+	}
+	// Sum of counts equals entities born in the window.
+	var sum int
+	for _, c := range counts {
+		sum += c
+	}
+	born := 0
+	for _, e := range w.Entities() {
+		if e.Born >= 1 {
+			born++
+		}
+	}
+	if sum != born {
+		t.Errorf("appearance counts sum %d != born %d", sum, born)
+	}
+}
+
+func TestLifespansRecoverRate(t *testing.T) {
+	cfg := Config{
+		Subdomains: []SubdomainSpec{{Point: DomainPoint{0, 0}, InitialEntities: 5000, LambdaAppear: 20, GammaDisappear: 0.02, GammaUpdate: 0}},
+		Horizon:    500,
+		Seed:       11,
+	}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := w.Lifespans(400, nil)
+	m, err := stats.FitExponential(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Discretization (ceil) biases the mean up by ~0.5 ticks on a mean of
+	// 50, so allow a few percent.
+	if math.Abs(m.Rate-0.02) > 0.002 {
+		t.Errorf("fitted lifespan rate = %v, want ≈ 0.02", m.Rate)
+	}
+	if m.Censored == 0 {
+		t.Error("expected some censored lifespans")
+	}
+}
+
+func TestUpdateIntervalsRecoverRate(t *testing.T) {
+	cfg := Config{
+		Subdomains: []SubdomainSpec{{Point: DomainPoint{0, 0}, InitialEntities: 3000, LambdaAppear: 0, GammaDisappear: 0, GammaUpdate: 0.1}},
+		Horizon:    400,
+		Seed:       13,
+	}
+	w, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := w.UpdateIntervals(300, nil)
+	m, err := stats.FitExponential(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Rate-0.1) > 0.01 {
+		t.Errorf("fitted update rate = %v, want ≈ 0.1", m.Rate)
+	}
+}
+
+func TestEntitiesOfPartition(t *testing.T) {
+	w, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[timeline.EntityID]bool{}
+	for _, p := range w.Points() {
+		for _, id := range w.EntitiesOf(p) {
+			if seen[id] {
+				t.Fatalf("entity %d in two subdomains", id)
+			}
+			seen[id] = true
+			if w.Entity(id).Point != p {
+				t.Fatalf("entity %d point mismatch", id)
+			}
+		}
+	}
+	if len(seen) != w.NumEntities() {
+		t.Errorf("partition covers %d of %d entities", len(seen), w.NumEntities())
+	}
+	if _, ok := w.Spec(DomainPoint{0, 0}); !ok {
+		t.Error("Spec lookup failed")
+	}
+	if _, ok := w.Spec(DomainPoint{9, 9}); ok {
+		t.Error("Spec lookup for absent point succeeded")
+	}
+}
