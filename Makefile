@@ -1,0 +1,24 @@
+GO ?= go
+
+# Packages whose concurrency matters enough to gate on the race detector.
+RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate
+
+.PHONY: build vet test race bench verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+bench:
+	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Tier-1 verification: everything CI runs.
+verify: build vet test race

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"freshsource/internal/experiments"
+	"freshsource/internal/obs"
 )
 
 func main() {
@@ -31,8 +32,15 @@ func main() {
 		mults   = flag.String("multipliers", "", "override BL+ micro-source multipliers, e.g. 0,1,2,5,10")
 		sizes   = flag.String("sizes", "", "override Figure 13b domain sizes, e.g. 1,50,100,200")
 		grasps  = flag.String("grasp", "", "override GRASP configs, e.g. 1,1;2,10;5,20")
+		obsF    obs.Flags
 	)
+	obsF.Register(flag.CommandLine)
 	flag.Parse()
+	if addr, err := obsF.Activate(); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "experiments: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -93,10 +101,17 @@ func main() {
 	}
 
 	for _, id := range ids {
+		// Reset telemetry per experiment so each artifact's snapshot
+		// describes only the run that produced it.
+		obs.Active().Reset()
 		start := time.Now()
 		tables, err := experiments.Run(id, env)
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		snap := obs.Active().Snapshot()
+		if tt := experiments.TelemetryTable(snap); tt != nil {
+			tables = append(tables, tt)
 		}
 		var b strings.Builder
 		for _, t := range tables {
@@ -109,7 +124,20 @@ func main() {
 			if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 				fatal(err)
 			}
+			if obs.Enabled() {
+				jf, err := os.Create(filepath.Join(*outDir, id+".obs.json"))
+				if err != nil {
+					fatal(err)
+				}
+				if err := snap.WriteJSON(jf); err != nil {
+					fatal(err)
+				}
+				jf.Close()
+			}
 		}
+	}
+	if err := obsF.Finish(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

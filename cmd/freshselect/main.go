@@ -22,6 +22,7 @@ import (
 	"freshsource/internal/core"
 	"freshsource/internal/dataset"
 	"freshsource/internal/gain"
+	"freshsource/internal/obs"
 	"freshsource/internal/snapio"
 	"freshsource/internal/timeline"
 )
@@ -40,8 +41,15 @@ func main() {
 		scale    = flag.Float64("scale", 0.5, "dataset scale")
 		seed     = flag.Int64("seed", 1, "seed")
 		load     = flag.String("load", "", "load a persisted dataset directory instead of generating")
+		obsF     obs.Flags
 	)
+	obsF.Register(flag.CommandLine)
 	flag.Parse()
+	if addr, err := obsF.Activate(); err != nil {
+		fatal(err)
+	} else if addr != "" {
+		fmt.Fprintf(os.Stderr, "freshselect: pprof/expvar on http://%s/debug/pprof/\n", addr)
+	}
 
 	var d *dataset.Dataset
 	var err error
@@ -96,6 +104,12 @@ func main() {
 	fmt.Println("\nselected:")
 	for i := range sel.Set {
 		fmt.Printf("  %-16s divisor %d\n", sel.Names[i], sel.Divisors[i])
+	}
+	if obs.Enabled() {
+		fmt.Println()
+	}
+	if err := obsF.Finish(os.Stdout); err != nil {
+		fatal(err)
 	}
 }
 

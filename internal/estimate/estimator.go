@@ -8,6 +8,7 @@ import (
 
 	"freshsource/internal/bitset"
 	"freshsource/internal/metrics"
+	"freshsource/internal/obs"
 	"freshsource/internal/profile"
 	"freshsource/internal/source"
 	"freshsource/internal/stats"
@@ -102,8 +103,10 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 		pts = w.Points()
 	}
 	e := &Estimator{T0: t0, MaxT: maxT, points: pts}
+	defer obs.Start("estimate.fit.seconds").End()
 
 	// World models per query point are independent; fit them in parallel.
+	fitSpan := obs.Start("estimate.fit.models.seconds")
 	span := int(maxT-t0) + 1
 	e.models = make([]*WorldModel, len(pts))
 	e.masks = make([]*bitset.Set, len(pts))
@@ -160,9 +163,11 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 			}
 		}
 	}
+	fitSpan.EndWithCount(obs.Counter("estimate.fit.points"), int64(len(pts)))
 
 	// Profiles are independent; build them in parallel. Results land at
 	// fixed indices, so the estimator stays deterministic.
+	profSpan := obs.Start("estimate.fit.profiles.seconds")
 	maxDelay := int(maxT - t0 + 1)
 	e.cands = make([]*Candidate, len(srcs))
 	errs := make([]error, len(srcs))
@@ -199,6 +204,7 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 			return nil, err
 		}
 	}
+	profSpan.EndWithCount(obs.Counter("estimate.fit.profiles"), int64(len(srcs)))
 	return e, nil
 }
 
@@ -265,6 +271,7 @@ func (e *Estimator) AddFrequencyVariants(divisors []int) (int, error) {
 			})
 		}
 	}
+	obs.Counter("estimate.variants.added").Add(int64(len(e.cands) - base))
 	return len(e.cands), nil
 }
 
@@ -302,6 +309,7 @@ func (e *Estimator) Quality(set []int, t timeline.Tick) QualityEstimate {
 // QualityMulti estimates quality at several future ticks, computing the
 // signature unions once. Ticks must lie in [T0, MaxT].
 func (e *Estimator) QualityMulti(set []int, ts []timeline.Tick) []QualityEstimate {
+	sp := obs.Start("estimate.quality.seconds")
 	for _, t := range ts {
 		if t < e.T0 || t > e.MaxT {
 			panic(fmt.Sprintf("estimate: tick %d outside [%d, %d]", t, e.T0, e.MaxT))
@@ -355,10 +363,33 @@ func (e *Estimator) QualityMulti(set []int, ts []timeline.Tick) []QualityEstimat
 	for k, t := range ts {
 		out[k] = e.qualityAt(t, covT0, upT0, sizeT0, covering, scratch)
 	}
+
+	// Telemetry, batched: one set of counter adds per estimate call, so
+	// the per-iteration recurrence loops above stay uninstrumented.
+	sp.End()
+	if obs.Enabled() {
+		obs.Counter("estimate.quality.calls").Add(1)
+		obs.Counter("estimate.quality.ticks").Add(int64(len(ts)))
+		obs.Counter("estimate.quality.set_size").Add(int64(len(set)))
+		if n := len(set); n > 1 {
+			obs.Counter("estimate.signature.unions").Add(int64(3 * (n - 1)))
+		}
+		if uB != nil {
+			obs.Counter("estimate.signature.intersects").Add(int64(3 * nPts))
+		}
+		obs.Counter("estimate.recurrence.steps").Add(scratch.steps)
+		obs.Counter("estimate.recurrence.cand_terms").Add(scratch.candTerms)
+	}
 	return out
 }
 
-type missBuffers struct{ ins, del, upd []float64 }
+type missBuffers struct {
+	ins, del, upd []float64
+	// steps counts Eq. 12–19 recurrence iterations and candTerms the
+	// per-covering-candidate effectiveness terms, accumulated across
+	// qualityAt calls and flushed to obs counters by QualityMulti.
+	steps, candTerms int64
+}
 
 // qualityAt evaluates Equations 12–19 at one tick. covering[j] lists the
 // set's candidates that observe point j; scratch holds reusable buffers.
@@ -407,7 +438,9 @@ func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, coveri
 				missDel[i] *= 1 - cv*c.gd[d]
 				missUpd[i] *= 1 - cv*c.gu[d]
 			}
+			scratch.candTerms += int64(iMax + 1)
 		}
+		scratch.steps += int64(dt0)
 
 		var ins, del, insUp, exUp float64
 		for i := 0; i < dt0; i++ {

@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"sort"
+
+	"freshsource/internal/obs"
 )
 
 // Runner regenerates one experiment.
@@ -57,5 +59,38 @@ func Run(id string, env *Env) ([]*Table, error) {
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
 	}
+	defer obs.Start("experiments.run.seconds").End()
+	obs.Counter("experiments.runs").Inc()
 	return r(env)
+}
+
+// TelemetryTable renders an obs snapshot as an experiment table, so run
+// artifacts can embed the telemetry that produced them. Returns nil when
+// the snapshot is empty (telemetry off or nothing recorded).
+func TelemetryTable(snap obs.Snapshot) *Table {
+	if snap.Empty() {
+		return nil
+	}
+	t := &Table{Title: "telemetry", Header: []string{"metric", "value"}}
+	for _, k := range sortedNames(snap.Counters) {
+		t.AddRow(k, fmt.Sprintf("%d", snap.Counters[k]))
+	}
+	for _, k := range sortedNames(snap.Gauges) {
+		t.AddRow(k, fmt.Sprintf("%g", snap.Gauges[k]))
+	}
+	for _, k := range sortedNames(snap.Histograms) {
+		h := snap.Histograms[k]
+		t.AddRow(k, fmt.Sprintf("count=%d mean=%.3gs p50=%.3gs p95=%.3gs p99=%.3gs max=%.3gs",
+			h.Count, h.Mean, h.P50, h.P95, h.P99, h.Max))
+	}
+	return t
+}
+
+func sortedNames[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }

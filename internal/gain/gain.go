@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"freshsource/internal/estimate"
+	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
 )
 
@@ -333,6 +334,7 @@ func NewProfit(e *estimate.Estimator, ticks []timeline.Tick, g Function, c *Cost
 // rescaled cost.
 func (p *Profit) Value(set []int) float64 {
 	p.calls++
+	obs.Counter("gain.profit.value_calls").Inc()
 	qs := p.Est.QualityMulti(set, p.Ticks)
 	gains := make([]float64, len(qs))
 	for i, q := range qs {
@@ -380,7 +382,11 @@ func (p *Profit) Feasible(set []int) bool {
 	if p.Budget <= 0 || p.Cost == nil {
 		return true
 	}
-	return p.Cost.SetCost(set)/p.Cost.Total() <= p.Budget
+	if p.Cost.SetCost(set)/p.Cost.Total() <= p.Budget {
+		return true
+	}
+	obs.Counter("gain.profit.budget_rejections").Inc()
+	return false
 }
 
 // Calls returns the number of oracle evaluations so far.

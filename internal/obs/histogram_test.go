@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Errorf("empty histogram not all-zero: count=%d sum=%g min=%g max=%g mean=%g",
+			h.Count(), h.Sum(), h.Min(), h.Max(), h.Mean())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if v := h.Quantile(q); v != 0 {
+			t.Errorf("Quantile(%g) of empty = %g, want 0", q, v)
+		}
+	}
+}
+
+func TestHistogramNilReceiver(t *testing.T) {
+	var h *HistogramVar
+	h.Observe(1) // must not panic
+	if h.Count() != 0 || h.Quantile(0.5) != 0 || h.Mean() != 0 {
+		t.Error("nil histogram should report zeros")
+	}
+}
+
+func TestHistogramSingleSample(t *testing.T) {
+	h := newHistogram(DefaultLatencyBuckets)
+	const v = 3.7e-3 // mid-bucket
+	h.Observe(v)
+	if h.Count() != 1 || h.Sum() != v || h.Min() != v || h.Max() != v {
+		t.Fatalf("single-sample stats wrong: count=%d sum=%g min=%g max=%g",
+			h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	// Min/max clamping makes every quantile exact for a single sample.
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != v {
+			t.Errorf("Quantile(%g) = %g, want exactly %g", q, got, v)
+		}
+	}
+}
+
+func TestHistogramBucketBoundary(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// "le" convention: a value exactly on a bound lands in that bucket.
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(4)
+	want := []int64{1, 1, 1, 0}
+	for i := range h.counts {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d count = %d, want %d", i, got, want[i])
+		}
+	}
+	// Just above a bound falls into the next bucket; above the last bound
+	// into overflow.
+	h.Observe(2.0000001)
+	if got := h.counts[2].Load(); got != 2 {
+		t.Errorf("bucket 2 count = %d, want 2", got)
+	}
+	h.Observe(5)
+	if got := h.counts[3].Load(); got != 1 {
+		t.Errorf("overflow count = %d, want 1", got)
+	}
+}
+
+func TestHistogramQuantileUniform(t *testing.T) {
+	// 1000 samples uniform over (0, 1]: quantiles should land within one
+	// bucket's width of the true value.
+	h := newHistogram([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1})
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 1000)
+	}
+	cases := []struct{ q, want, tol float64 }{
+		{0.5, 0.5, 0.1},
+		{0.95, 0.95, 0.1},
+		{0.99, 0.99, 0.1},
+		{1, 1, 1e-9},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("Quantile(%g) = %g, want %g ± %g", c.q, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestHistogramQuantileClampedToObserved(t *testing.T) {
+	// All mass in one wide bucket: interpolation must not escape the
+	// observed [min, max] range.
+	h := newHistogram([]float64{1000})
+	h.Observe(10)
+	h.Observe(20)
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got < 10 || got > 20 {
+			t.Errorf("Quantile(%g) = %g outside observed [10, 20]", q, got)
+		}
+	}
+}
+
+func TestHistogramOverflowQuantile(t *testing.T) {
+	h := newHistogram([]float64{1})
+	h.Observe(50)
+	h.Observe(100)
+	// Both in overflow: upper edge is the observed max.
+	if got := h.Quantile(0.99); got > 100 || got < 50 {
+		t.Errorf("overflow Quantile(0.99) = %g, want within [50, 100]", got)
+	}
+	if got := h.Quantile(1); got != 100 {
+		t.Errorf("overflow Quantile(1) = %g, want 100", got)
+	}
+}
+
+func TestHistogramQuantileOutOfRangeQ(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	if got := h.Quantile(-1); got != 0.5 {
+		t.Errorf("Quantile(-1) = %g, want min 0.5", got)
+	}
+	if got := h.Quantile(2); got != 1.5 {
+		t.Errorf("Quantile(2) = %g, want max 1.5", got)
+	}
+}
+
+func TestHistogramKeepsOriginalBuckets(t *testing.T) {
+	r := NewRegistry()
+	h1 := r.HistogramWith("h", []float64{1, 2})
+	h2 := r.HistogramWith("h", []float64{5, 6, 7})
+	if h1 != h2 {
+		t.Fatal("same name should return the same histogram")
+	}
+	if len(h2.bounds) != 2 {
+		t.Errorf("histogram re-registration changed buckets: %v", h2.bounds)
+	}
+}

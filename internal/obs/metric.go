@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// CounterVar is a monotonically increasing atomic counter. All methods are
+// no-ops on a nil receiver, which is what package-level lookups return when
+// telemetry is disabled.
+type CounterVar struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *CounterVar) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *CounterVar) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil receiver).
+func (c *CounterVar) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// GaugeVar is an atomic instantaneous float64 value (stored as bits).
+type GaugeVar struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *GaugeVar) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds d to the gauge.
+func (g *GaugeVar) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *GaugeVar) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultLatencyBuckets are the upper bounds, in seconds, of the default
+// histogram layout: roughly exponential from 1 µs to 1 min. An implicit
+// overflow bucket catches everything above the last bound.
+var DefaultLatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// HistogramVar is a fixed-bucket histogram of float64 observations
+// (conventionally seconds). Buckets follow the "le" convention: bucket i
+// counts observations v with v ≤ bounds[i]; counts[len(bounds)] is the
+// overflow bucket. Observations are lock-free; Snapshot readers may see a
+// histogram mid-update, which skews a quantile by at most one observation.
+type HistogramVar struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last = overflow
+
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-added
+	minBits atomic.Uint64 // float64 bits; initialised to +Inf
+	maxBits atomic.Uint64 // float64 bits; initialised to -Inf
+}
+
+func newHistogram(bounds []float64) *HistogramVar {
+	h := &HistogramVar{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+// Observe records one observation.
+func (h *HistogramVar) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Buckets are few (≤ ~24): linear scan beats binary search overhead
+	// and stays branch-predictable for the common small-latency case.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	casAdd(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+func casAdd(bits *atomic.Uint64, d float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *HistogramVar) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observations.
+func (h *HistogramVar) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Min returns the smallest observation, or 0 when empty.
+func (h *HistogramVar) Min() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.minBits.Load())
+}
+
+// Max returns the largest observation, or 0 when empty.
+func (h *HistogramVar) Max() float64 {
+	if h == nil || h.count.Load() == 0 {
+		return 0
+	}
+	return math.Float64frombits(h.maxBits.Load())
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// within the containing bucket, clamped to the observed [min, max] range —
+// so a single-observation histogram reports that observation exactly for
+// every q. An empty histogram reports 0.
+func (h *HistogramVar) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	min, max := h.Min(), h.Max()
+	if q <= 0 {
+		return min
+	}
+	if q >= 1 {
+		return max
+	}
+	target := q * float64(total)
+	if target < 1 {
+		target = 1 // the quantile of the first observation
+	}
+	var cum int64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			hi := max
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if lo < min {
+				lo = min
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (target - float64(cum)) / float64(n)
+			v := lo + frac*(hi-lo)
+			return clampRange(v, min, max)
+		}
+		cum += n
+	}
+	return max
+}
+
+func clampRange(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Mean returns the average observation, or 0 when empty.
+func (h *HistogramVar) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// resetGlobal detaches any active registry and restores the previous state
+// when the test ends.
+func resetGlobal(t *testing.T) {
+	t.Helper()
+	prev := Active()
+	Disable()
+	t.Cleanup(func() {
+		if prev != nil {
+			active.Store(prev)
+		} else {
+			Disable()
+		}
+	})
+}
+
+func TestDisabledHandlesAreNoOps(t *testing.T) {
+	resetGlobal(t)
+	c := Counter("x")
+	if c != nil {
+		t.Fatal("disabled Counter should be nil")
+	}
+	c.Add(5) // must not panic
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter value != 0")
+	}
+	Gauge("g").Set(1)
+	Gauge("g").Add(2)
+	Histogram("h").Observe(1)
+	sp := Start("span.seconds")
+	sp.End()
+	sp.EndWithCount(nil, 3)
+	if Enabled() {
+		t.Error("Enabled() true while disabled")
+	}
+}
+
+func TestEnableDisableLifecycle(t *testing.T) {
+	resetGlobal(t)
+	r := Enable()
+	if r == nil || Active() != r || !Enabled() {
+		t.Fatal("Enable did not install a registry")
+	}
+	if again := Enable(); again != r {
+		t.Error("second Enable returned a different registry")
+	}
+	Counter("a").Add(3)
+	if got := r.Counter("a").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3", got)
+	}
+	Disable()
+	if Enabled() {
+		t.Error("still enabled after Disable")
+	}
+}
+
+func TestRegistryHandleIdentityAndReset(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("c") != r.Counter("c") {
+		t.Error("same counter name returned different handles")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("same gauge name returned different handles")
+	}
+	r.Counter("c").Add(7)
+	r.Reset()
+	if got := r.Counter("c").Value(); got != 0 {
+		t.Errorf("counter survived Reset with value %d", got)
+	}
+	if !r.Snapshot().Empty() {
+		// Reset then Counter() recreates "c" at zero — Snapshot sees it.
+		snap := r.Snapshot()
+		if snap.Counters["c"] != 0 {
+			t.Errorf("post-reset snapshot has nonzero counter: %v", snap.Counters)
+		}
+	}
+}
+
+func TestNilRegistryLookups(t *testing.T) {
+	var r *Registry
+	if r.Counter("c") != nil || r.Gauge("g") != nil || r.Histogram("h") != nil {
+		t.Error("nil registry lookups should return nil handles")
+	}
+	r.Reset() // must not panic
+	if !r.Snapshot().Empty() {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(2.5)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %g, want 4", got)
+	}
+}
+
+func TestSpanRecordsDuration(t *testing.T) {
+	resetGlobal(t)
+	r := Enable()
+	sp := Start("op.seconds")
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	h := r.Histogram("op.seconds")
+	if h.Count() != 1 {
+		t.Fatalf("span recorded %d observations, want 1", h.Count())
+	}
+	if h.Max() < 1e-3 {
+		t.Errorf("span duration %gs implausibly small", h.Max())
+	}
+}
+
+func TestConcurrentCountersHistogramsSpans(t *testing.T) {
+	resetGlobal(t)
+	r := Enable()
+	const goroutines = 16
+	const perG = 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				Counter("conc.counter").Inc()
+				Gauge("conc.gauge").Add(1)
+				Histogram("conc.hist").Observe(float64(i%10) * 1e-4)
+				sp := Start("conc.span.seconds")
+				sp.End()
+				if i%100 == 0 {
+					_ = r.Snapshot() // readers race with writers
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := int64(goroutines * perG)
+	if got := r.Counter("conc.counter").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Gauge("conc.gauge").Value(); got != float64(want) {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	if got := r.Histogram("conc.hist").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := r.Histogram("conc.span.seconds").Count(); got != want {
+		t.Errorf("span count = %d, want %d", got, want)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("reqs").Add(42)
+	r.Gauge("load").Set(0.75)
+	r.Histogram("lat.seconds").Observe(0.003)
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["reqs"] != 42 || back.Gauges["load"] != 0.75 {
+		t.Errorf("round trip lost values: %+v", back)
+	}
+	h := back.Histograms["lat.seconds"]
+	if h.Count != 1 || h.P50 != 0.003 {
+		t.Errorf("histogram summary wrong: %+v", h)
+	}
+}
+
+func TestSnapshotTable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("oracle.calls").Add(9)
+	r.Histogram("est.seconds").Observe(0.25)
+	tab := r.Snapshot().Table()
+	for _, want := range []string{"oracle.calls", "9", "est.seconds", "p95", "250.00ms"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+	empty := NewRegistry().Snapshot()
+	if got := empty.Table(); !strings.Contains(got, "no telemetry") {
+		t.Errorf("empty table = %q", got)
+	}
+}
+
+func TestFlagsRegisterActivateFinish(t *testing.T) {
+	resetGlobal(t)
+	dir := t.TempDir()
+	dump := filepath.Join(dir, "snap.json")
+
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse([]string{"-obs.table", "-obs.dump", dump}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Enabled() {
+		t.Fatal("flags should be enabled")
+	}
+	if _, err := f.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if !Enabled() {
+		t.Fatal("Activate did not enable telemetry")
+	}
+	Counter("flag.test").Add(1)
+
+	var out bytes.Buffer
+	if err := f.Finish(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "flag.test") {
+		t.Errorf("table output missing counter:\n%s", out.String())
+	}
+	data, err := os.ReadFile(dump)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["flag.test"] != 1 {
+		t.Errorf("dump missing counter: %+v", snap)
+	}
+}
+
+func TestFlagsNoOpWhenUnset(t *testing.T) {
+	resetGlobal(t)
+	var f Flags
+	if f.Enabled() {
+		t.Fatal("zero Flags should be disabled")
+	}
+	if _, err := f.Activate(); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Error("Activate enabled telemetry with no flags set")
+	}
+	if err := f.Finish(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	resetGlobal(t)
+	Enable()
+	Counter("debug.test").Add(5)
+	addr, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for path, want := range map[string]string{
+		"/debug/obs":  "debug.test",
+		"/debug/vars": "memstats",
+	} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", addr, path))
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		if !strings.Contains(string(body), want) {
+			t.Errorf("GET %s: body missing %q", path, want)
+		}
+	}
+}

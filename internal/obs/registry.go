@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"sync"
+)
+
+// Registry is a named collection of counters, gauges and histograms. The
+// zero value is not usable; use NewRegistry. All methods are safe for
+// concurrent use, and all lookup methods are nil-receiver-safe so the
+// disabled path costs only a nil check.
+type Registry struct {
+	mu     sync.RWMutex
+	ctrs   map[string]*CounterVar
+	gauges map[string]*GaugeVar
+	hists  map[string]*HistogramVar
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		ctrs:   make(map[string]*CounterVar),
+		gauges: make(map[string]*GaugeVar),
+		hists:  make(map[string]*HistogramVar),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns nil
+// on a nil registry.
+func (r *Registry) Counter(name string) *CounterVar {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	c, ok := r.ctrs[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.ctrs[name]; ok {
+		return c
+	}
+	c = &CounterVar{}
+	r.ctrs[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Returns nil on
+// a nil registry.
+func (r *Registry) Gauge(name string) *GaugeVar {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &GaugeVar{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram with the default latency buckets,
+// creating it on first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *HistogramVar {
+	return r.HistogramWith(name, DefaultLatencyBuckets)
+}
+
+// HistogramWith returns the named histogram, creating it with the given
+// bucket upper bounds (ascending) on first use. An existing histogram
+// keeps its original buckets. Returns nil on a nil registry.
+func (r *Registry) HistogramWith(name string, bounds []float64) *HistogramVar {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Reset drops every metric, so the next snapshot covers only work done
+// after the reset. Handles obtained before the reset keep mutating their
+// detached metrics, which no longer appear in snapshots.
+func (r *Registry) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.ctrs = make(map[string]*CounterVar)
+	r.gauges = make(map[string]*GaugeVar)
+	r.hists = make(map[string]*HistogramVar)
+}

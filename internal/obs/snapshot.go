@@ -1,0 +1,199 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a point-in-time copy of a registry, suitable for JSON
+// encoding and human rendering. Maps are keyed by metric name.
+type Snapshot struct {
+	Counters   map[string]int64            `json:"counters,omitempty"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+}
+
+// HistogramSummary condenses one histogram: counts, moments, quantiles and
+// the non-empty buckets.
+type HistogramSummary struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	// Buckets lists the non-empty buckets as {le, count} pairs; the
+	// overflow bucket reports le = +Inf encoded as "inf".
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one non-empty histogram bucket.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound in the histogram's unit;
+	// the overflow bucket uses the string "inf".
+	LE string `json:"le"`
+	// Count is the number of observations in the bucket.
+	Count int64 `json:"count"`
+}
+
+// Snapshot copies the registry's current state. Safe to call concurrently
+// with metric mutation; counts and sums may be skewed by in-flight updates
+// by at most one observation per histogram. Returns an empty snapshot on a
+// nil registry.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSummary{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	ctrs := make(map[string]*CounterVar, len(r.ctrs))
+	for k, v := range r.ctrs {
+		ctrs[k] = v
+	}
+	gauges := make(map[string]*GaugeVar, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*HistogramVar, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.RUnlock()
+
+	for k, c := range ctrs {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = summarize(h)
+	}
+	return s
+}
+
+func summarize(h *HistogramVar) HistogramSummary {
+	sum := HistogramSummary{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		Min:   h.Min(),
+		Max:   h.Max(),
+		Mean:  h.Mean(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+	}
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			continue
+		}
+		le := "inf"
+		if i < len(h.bounds) {
+			le = trimFloat(h.bounds[i])
+		}
+		sum.Buckets = append(sum.Buckets, BucketCount{LE: le, Count: n})
+	}
+	return sum
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Empty reports whether the snapshot holds no metrics at all.
+func (s Snapshot) Empty() bool {
+	return len(s.Counters) == 0 && len(s.Gauges) == 0 && len(s.Histograms) == 0
+}
+
+// Table renders the snapshot as an aligned human-readable table: counters
+// and gauges first, then one row per histogram with count, mean and
+// p50/p95/p99 (durations rendered in an adaptive unit).
+func (s Snapshot) Table() string {
+	var b strings.Builder
+	names := sortedKeys(s.Counters)
+	if len(names) > 0 {
+		b.WriteString("counters:\n")
+		w := maxLen(names)
+		for _, k := range names {
+			fmt.Fprintf(&b, "  %-*s %d\n", w, k, s.Counters[k])
+		}
+	}
+	gnames := sortedKeys(s.Gauges)
+	if len(gnames) > 0 {
+		b.WriteString("gauges:\n")
+		w := maxLen(gnames)
+		for _, k := range gnames {
+			fmt.Fprintf(&b, "  %-*s %g\n", w, k, s.Gauges[k])
+		}
+	}
+	hnames := sortedKeys(s.Histograms)
+	if len(hnames) > 0 {
+		b.WriteString("histograms:\n")
+		w := maxLen(hnames)
+		fmt.Fprintf(&b, "  %-*s %10s %10s %10s %10s %10s %10s\n",
+			w, "name", "count", "mean", "p50", "p95", "p99", "max")
+		for _, k := range hnames {
+			h := s.Histograms[k]
+			fmt.Fprintf(&b, "  %-*s %10d %10s %10s %10s %10s %10s\n",
+				w, k, h.Count,
+				fmtSeconds(h.Mean), fmtSeconds(h.P50), fmtSeconds(h.P95),
+				fmtSeconds(h.P99), fmtSeconds(h.Max))
+		}
+	}
+	if b.Len() == 0 {
+		return "(no telemetry recorded)\n"
+	}
+	return b.String()
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func maxLen(ss []string) int {
+	w := 0
+	for _, s := range ss {
+		if len(s) > w {
+			w = len(s)
+		}
+	}
+	return w
+}
+
+// fmtSeconds renders a duration in seconds with an adaptive unit.
+func fmtSeconds(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v < 1e-6:
+		return fmt.Sprintf("%.0fns", v*1e9)
+	case v < 1e-3:
+		return fmt.Sprintf("%.1fµs", v*1e6)
+	case v < 1:
+		return fmt.Sprintf("%.2fms", v*1e3)
+	default:
+		return fmt.Sprintf("%.3fs", v)
+	}
+}
+
+func trimFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}

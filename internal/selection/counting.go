@@ -1,0 +1,101 @@
+package selection
+
+import (
+	"sync/atomic"
+	"time"
+
+	"freshsource/internal/obs"
+)
+
+// CountingOracle wraps an Oracle and counts every Value and Feasible
+// evaluation explicitly, so call accounting never depends on the wrapped
+// oracle volunteering a counter. Counts are atomic: a CountingOracle may
+// be shared by concurrent algorithm runs.
+//
+// Every algorithm in this package wraps its oracle with Count on entry, so
+// Result.OracleCalls is always exact — including for oracles that know
+// nothing about counting.
+type CountingOracle struct {
+	inner    Oracle
+	value    atomic.Int64
+	feasible atomic.Int64
+
+	// obs handles resolved at wrap time; nil (no-op) when telemetry is
+	// disabled.
+	obsValue    *obs.CounterVar
+	obsFeasible *obs.CounterVar
+}
+
+// Count wraps f in a CountingOracle. Wrapping a CountingOracle returns it
+// unchanged, so nested algorithm calls (e.g. MatroidMax running
+// MatroidLocalSearch) share one running count and delta accounting stays
+// exact.
+func Count(f Oracle) *CountingOracle {
+	if c, ok := f.(*CountingOracle); ok {
+		return c
+	}
+	return &CountingOracle{
+		inner:       f,
+		obsValue:    obs.Counter("selection.oracle.value_calls"),
+		obsFeasible: obs.Counter("selection.oracle.feasible_calls"),
+	}
+}
+
+// Value implements Oracle, counting the evaluation.
+func (c *CountingOracle) Value(set []int) float64 {
+	c.value.Add(1)
+	c.obsValue.Add(1)
+	return c.inner.Value(set)
+}
+
+// Feasible implements Oracle, counting the check.
+func (c *CountingOracle) Feasible(set []int) bool {
+	c.feasible.Add(1)
+	c.obsFeasible.Add(1)
+	return c.inner.Feasible(set)
+}
+
+// Calls returns the number of Value evaluations so far.
+func (c *CountingOracle) Calls() int { return int(c.value.Load()) }
+
+// FeasibleCalls returns the number of Feasible checks so far.
+func (c *CountingOracle) FeasibleCalls() int { return int(c.feasible.Load()) }
+
+// Unwrap returns the wrapped oracle.
+func (c *CountingOracle) Unwrap() Oracle { return c.inner }
+
+// runTrace carries the per-run accounting every algorithm shares: the
+// counting oracle, its call count at entry (for delta accounting under
+// nesting), the wall-clock start, and the obs span timing the run.
+type runTrace struct {
+	co     *CountingOracle
+	calls0 int
+	start  time.Time
+	span   obs.Span
+	runs   *obs.CounterVar
+}
+
+// traceRun begins a run of the named algorithm: wraps the oracle and opens
+// the "selection.<alg>.seconds" span.
+func traceRun(f Oracle, alg string) (*CountingOracle, runTrace) {
+	co := Count(f)
+	return co, runTrace{
+		co:     co,
+		calls0: co.Calls(),
+		start:  time.Now(),
+		span:   obs.Start("selection." + alg + ".seconds"),
+		runs:   obs.Counter("selection." + alg + ".runs"),
+	}
+}
+
+// finish closes the run and assembles its Result.
+func (rt runTrace) finish(set []int, value float64) Result {
+	rt.span.End()
+	rt.runs.Add(1)
+	return Result{
+		Set:         append([]int(nil), set...),
+		Value:       value,
+		OracleCalls: rt.co.Calls() - rt.calls0,
+		Duration:    time.Since(rt.start),
+	}
+}

@@ -3,7 +3,8 @@ package selection
 import (
 	"container/heap"
 	"math"
-	"time"
+
+	"freshsource/internal/obs"
 )
 
 // This file extends the paper's algorithm suite with two standard
@@ -48,18 +49,18 @@ func (h *marginalHeap) Pop() interface{} {
 // sequence when the objective is monotone submodular; on non-submodular
 // objectives it is a heuristic (stale bounds may hide a better candidate).
 func LazyGreedy(f Oracle, n int) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "lazygreedy")
+	stale := obs.Counter("selection.lazygreedy.stale_recomputes")
 	var set []int
-	cur := f.Value(set)
+	cur := co.Value(set)
 
 	h := make(marginalHeap, 0, n)
 	for x := 0; x < n; x++ {
 		cand := with(set, x)
-		if !f.Feasible(cand) {
+		if !co.Feasible(cand) {
 			continue
 		}
-		h = append(h, &marginalItem{idx: x, gain: f.Value(cand) - cur, round: 0})
+		h = append(h, &marginalItem{idx: x, gain: co.Value(cand) - cur, round: 0})
 	}
 	heap.Init(&h)
 
@@ -72,12 +73,13 @@ func LazyGreedy(f Oracle, n int) Result {
 		if top.round != round {
 			// Stale bound: recompute against the current solution.
 			cand := with(set, top.idx)
-			if !f.Feasible(cand) {
+			if !co.Feasible(cand) {
 				heap.Pop(&h)
 				continue
 			}
-			top.gain = f.Value(cand) - cur
+			top.gain = co.Value(cand) - cur
 			top.round = round
+			stale.Inc()
 			heap.Fix(&h, 0)
 			continue
 		}
@@ -88,8 +90,8 @@ func LazyGreedy(f Oracle, n int) Result {
 		round++
 	}
 	// cur accumulated incrementally; report the oracle's exact value.
-	cur = f.Value(set)
-	return finish(f, set, cur, calls0, start)
+	cur = co.Value(set)
+	return rt.finish(set, cur)
 }
 
 // BudgetedGreedy maximizes under the oracle's feasibility (budget)
@@ -97,8 +99,8 @@ func LazyGreedy(f Oracle, n int) Result {
 // ratio-greedy solution and the best feasible singleton. cost reports each
 // candidate's (rescaled) cost.
 func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "budgeted")
+	f = co
 
 	// Ratio greedy.
 	var set []int
@@ -145,5 +147,5 @@ func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
 	if singleton != nil && sVal > cur {
 		set, cur = singleton, sVal
 	}
-	return finish(f, set, cur, calls0, start)
+	return rt.finish(set, cur)
 }

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"freshsource/internal/matroid"
+	"freshsource/internal/obs"
 	"freshsource/internal/stats"
 )
 
@@ -35,36 +36,18 @@ type Oracle interface {
 	Feasible(set []int) bool
 }
 
-// callCounter is implemented by oracles that count their own evaluations
-// (gain.Profit does).
-type callCounter interface{ Calls() int }
-
 // Result reports one algorithm run.
 type Result struct {
 	// Set is the selected candidate set.
 	Set []int
 	// Value is f(Set).
 	Value float64
-	// OracleCalls is the number of value-oracle evaluations, when the
-	// oracle exposes a counter.
+	// OracleCalls is the exact number of value-oracle evaluations the run
+	// performed: every algorithm counts through a CountingOracle wrapper,
+	// so the count never depends on the oracle implementing one.
 	OracleCalls int
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
-}
-
-func finish(f Oracle, set []int, value float64, calls0 int, start time.Time) Result {
-	r := Result{Set: append([]int(nil), set...), Value: value, Duration: time.Since(start)}
-	if c, ok := f.(callCounter); ok {
-		r.OracleCalls = c.Calls() - calls0
-	}
-	return r
-}
-
-func startCalls(f Oracle) int {
-	if c, ok := f.(callCounter); ok {
-		return c.Calls()
-	}
-	return 0
 }
 
 // contains reports membership.
@@ -106,10 +89,10 @@ func with(set []int, x int) []int {
 // set, repeatedly add the feasible candidate with the best positive
 // marginal profit; stop when no addition improves.
 func Greedy(f Oracle, n int) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "greedy")
+	adds := obs.Counter("selection.greedy.adds")
 	var set []int
-	cur := f.Value(set)
+	cur := co.Value(set)
 	for {
 		bestIdx, bestVal := -1, cur
 		for x := 0; x < n; x++ {
@@ -117,10 +100,10 @@ func Greedy(f Oracle, n int) Result {
 				continue
 			}
 			cand := with(set, x)
-			if !f.Feasible(cand) {
+			if !co.Feasible(cand) {
 				continue
 			}
-			if v := f.Value(cand); v > bestVal {
+			if v := co.Value(cand); v > bestVal {
 				bestIdx, bestVal = x, v
 			}
 		}
@@ -129,8 +112,9 @@ func Greedy(f Oracle, n int) Result {
 		}
 		set = with(set, bestIdx)
 		cur = bestVal
+		adds.Inc()
 	}
-	return finish(f, set, cur, calls0, start)
+	return rt.finish(set, cur)
 }
 
 // improves implements the multiplicative improvement threshold
@@ -148,17 +132,17 @@ func improves(newV, curV, eps, denom float64) bool {
 // MaxSub is Algorithm 1 of the paper (Feige & Mirrokni local search). eps
 // is the approximation slack ε; the thresholds use ε/n².
 func MaxSub(f Oracle, n int, eps float64) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "maxsub")
+	moves := obs.Counter("selection.maxsub.moves")
 	if n == 0 {
-		return finish(f, nil, f.Value(nil), calls0, start)
+		return rt.finish(nil, co.Value(nil))
 	}
 	denom := float64(n) * float64(n)
 
 	// Ln. 3: best feasible singleton.
-	set, cur := bestSingleton(f, n)
+	set, cur := bestSingleton(co, n)
 	if set == nil {
-		return finish(f, nil, f.Value(nil), calls0, start)
+		return rt.finish(nil, co.Value(nil))
 	}
 
 	// Ln. 4–10: local add/delete moves.
@@ -171,28 +155,30 @@ func MaxSub(f Oracle, n int, eps float64) Result {
 				continue
 			}
 			cand := with(set, x)
-			if !f.Feasible(cand) {
+			if !co.Feasible(cand) {
 				continue
 			}
-			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+			if v := co.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
 				bestIdx, bestVal = x, v
 			}
 		}
 		if bestIdx >= 0 {
 			set, cur = with(set, bestIdx), bestVal
 			moved = true
+			moves.Inc()
 		}
 		// Deletion.
 		bestIdx, bestVal = -1, cur
 		for _, x := range set {
 			cand := without(set, x)
-			if v := f.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
+			if v := co.Value(cand); improves(v, cur, eps, denom) && v > bestVal {
 				bestIdx, bestVal = x, v
 			}
 		}
 		if bestIdx >= 0 {
 			set, cur = without(set, bestIdx), bestVal
 			moved = true
+			moves.Inc()
 		}
 		if !moved {
 			break
@@ -206,12 +192,12 @@ func MaxSub(f Oracle, n int, eps float64) Result {
 			comp = append(comp, x)
 		}
 	}
-	if f.Feasible(comp) {
-		if v := f.Value(comp); v > cur {
+	if co.Feasible(comp) {
+		if v := co.Value(comp); v > cur {
 			set, cur = comp, v
 		}
 	}
-	return finish(f, set, cur, calls0, start)
+	return rt.finish(set, cur)
 }
 
 func bestSingleton(f Oracle, n int) ([]int, float64) {
@@ -235,10 +221,11 @@ func bestSingleton(f Oracle, n int) ([]int, float64) {
 // {0,…,n-1}) under the intersection of the given matroids, with delete and
 // exchange moves gated by (1+ε/n⁴).
 func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float64) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "matroidlocal")
+	f = co
+	moves := obs.Counter("selection.matroidlocal.moves")
 	if len(ground) == 0 {
-		return finish(f, nil, f.Value(nil), calls0, start)
+		return rt.finish(nil, f.Value(nil))
 	}
 	n := 0
 	for _, m := range ms {
@@ -264,7 +251,7 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		}
 	}
 	if set == nil {
-		return finish(f, nil, f.Value(nil), calls0, start)
+		return rt.finish(nil, f.Value(nil))
 	}
 
 	for {
@@ -281,6 +268,7 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		if bestSet != nil {
 			set, cur = bestSet, bestVal
 			moved = true
+			moves.Inc()
 		}
 
 		// Ln. 8–10: exchange operation — bring in d, removing at most one
@@ -317,20 +305,20 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		if bestSet != nil {
 			set, cur = bestSet, bestVal
 			moved = true
+			moves.Inc()
 		}
 
 		if !moved {
 			break
 		}
 	}
-	return finish(f, set, cur, calls0, start)
+	return rt.finish(set, cur)
 }
 
 // MatroidMax is Algorithm 2: run the local search k+1 times on shrinking
 // ground sets (removing each round's selection) and return the best round.
 func MatroidMax(f Oracle, n int, ms []matroid.Matroid, eps float64) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "matroidmax")
 	ground := make([]int, n)
 	for i := range ground {
 		ground[i] = i
@@ -342,16 +330,17 @@ func MatroidMax(f Oracle, n int, ms []matroid.Matroid, eps float64) Result {
 		if len(ground) == 0 {
 			break
 		}
-		r := MatroidLocalSearch(f, ground, ms, eps)
+		// The nested run shares co, so rt's delta accounting covers it.
+		r := MatroidLocalSearch(co, ground, ms, eps)
 		if r.Value > best.Value {
 			best = r
 		}
 		ground = without(ground, r.Set...)
 	}
 	if math.IsInf(best.Value, -1) {
-		best = Result{Value: f.Value(nil)}
+		best = Result{Value: co.Value(nil)}
 	}
-	return finish(f, best.Set, best.Value, calls0, start)
+	return rt.finish(best.Set, best.Value)
 }
 
 // GRASP is the randomized multi-start of Dong et al.: r rounds of greedy
@@ -360,21 +349,22 @@ func MatroidMax(f Oracle, n int, ms []matroid.Matroid, eps float64) Result {
 // add/drop/swap hill climbing; the best round wins. (κ=1, r=1) degenerates
 // to plain hill climbing.
 func GRASP(f Oracle, n int, kappa, r int, rng *stats.RNG) Result {
-	start := time.Now()
-	calls0 := startCalls(f)
+	co, rt := traceRun(f, "grasp")
+	restarts := obs.Counter("selection.grasp.restarts")
 	best := Result{Value: math.Inf(-1)}
 	for it := 0; it < r; it++ {
-		set, cur := graspConstruct(f, n, kappa, rng)
-		set, cur = hillClimb(f, n, set, cur)
+		restarts.Inc()
+		set, cur := graspConstruct(co, n, kappa, rng)
+		set, cur = hillClimb(co, n, set, cur)
 		if cur > best.Value {
 			best.Set = append([]int(nil), set...)
 			best.Value = cur
 		}
 	}
 	if math.IsInf(best.Value, -1) {
-		best = Result{Value: f.Value(nil)}
+		best = Result{Value: co.Value(nil)}
 	}
-	return finish(f, best.Set, best.Value, calls0, start)
+	return rt.finish(best.Set, best.Value)
 }
 
 func graspConstruct(f Oracle, n, kappa int, rng *stats.RNG) ([]int, float64) {
@@ -421,6 +411,7 @@ func graspConstruct(f Oracle, n, kappa int, rng *stats.RNG) ([]int, float64) {
 // hillClimb applies best-improvement add, drop and swap moves until a local
 // optimum.
 func hillClimb(f Oracle, n int, set []int, cur float64) ([]int, float64) {
+	moves := obs.Counter("selection.hillclimb.moves")
 	for {
 		bestSet, bestVal := ([]int)(nil), cur
 		// Add.
@@ -463,5 +454,6 @@ func hillClimb(f Oracle, n int, set []int, cur float64) ([]int, float64) {
 			return set, cur
 		}
 		set, cur = bestSet, bestVal
+		moves.Inc()
 	}
 }
