@@ -3,7 +3,7 @@ GO ?= go
 # Packages whose concurrency matters enough to gate on the race detector.
 RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate
 
-.PHONY: build vet test race bench verify
+.PHONY: build vet test race bench bench-smoke bench-paper verify
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,20 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Selection hot-path benchmarks → BENCH_selection.json (ns/op per variant
+# plus speedups of each accelerated path over its sequential baseline).
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' \
+		./internal/selection ./internal/estimate | tee /tmp/bench_selection.out
+	$(GO) run ./cmd/benchjson -out BENCH_selection.json < /tmp/bench_selection.out
+
+# One-iteration pass over the same benchmarks: CI's compile-and-run gate.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' -benchtime=1x \
+		./internal/selection ./internal/estimate
+
+# Scaled-down paper-experiment benches at the repo root.
+bench-paper:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
 # Tier-1 verification: everything CI runs.

@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// record, computing the speedup of each accelerated variant against its
+// family's "seq" baseline (sub-benchmark naming Family/variant). The root
+// Makefile's bench target pipes the selection benchmarks through it to
+// produce BENCH_selection.json.
+//
+// Usage:
+//
+//	go test -bench . ./internal/selection | benchjson -out BENCH_selection.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares one variant against its family's seq baseline.
+type Speedup struct {
+	Family  string  `json:"family"`
+	Variant string  `json:"variant"`
+	SeqNs   float64 `json:"seq_ns_per_op"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted document.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Speedups   []Speedup         `json:"speedups"`
+}
+
+var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			b.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			b.AllocsPerOp = &v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	// Family baselines: Family/seq (or Family/scratch for the estimator
+	// micro-benchmarks, which name the from-scratch path that way).
+	base := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		fam, variant, ok := strings.Cut(b.Name, "/")
+		if !ok {
+			continue
+		}
+		if variant == "seq" || variant == "scratch" {
+			base[fam] = b.NsPerOp
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		fam, variant, ok := strings.Cut(b.Name, "/")
+		if !ok || variant == "seq" || variant == "scratch" {
+			continue
+		}
+		seq, ok := base[fam]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Family:  fam,
+			Variant: variant,
+			SeqNs:   seq,
+			NsPerOp: b.NsPerOp,
+			Speedup: seq / b.NsPerOp,
+		})
+	}
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchjson: wrote %s (%d benchmarks, %d speedups)\n", *out, len(rep.Benchmarks), len(rep.Speedups))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -32,6 +32,8 @@ func main() {
 		mults   = flag.String("multipliers", "", "override BL+ micro-source multipliers, e.g. 0,1,2,5,10")
 		sizes   = flag.String("sizes", "", "override Figure 13b domain sizes, e.g. 1,50,100,200")
 		grasps  = flag.String("grasp", "", "override GRASP configs, e.g. 1,1;2,10;5,20")
+		workers = flag.Int("workers", 0, "candidate-sweep workers per selection run: 0 = sequential, -1 = all cores")
+		cache   = flag.Bool("cache", false, "memoize oracle evaluations by candidate set")
 		obsF    obs.Flags
 	)
 	obsF.Register(flag.CommandLine)
@@ -53,6 +55,8 @@ func main() {
 	if *quick {
 		cfg = experiments.Quick()
 	}
+	cfg.Workers = *workers
+	cfg.CacheOracle = *cache
 	if *mults != "" {
 		cfg.ScalabilityMultipliers = nil
 		for _, part := range strings.Split(*mults, ",") {

@@ -37,6 +37,9 @@ func main() {
 		budget   = flag.Float64("budget", 0, "budget on rescaled cost in (0,1]; 0 = unconstrained")
 		kappa    = flag.Int("kappa", 5, "GRASP κ")
 		rounds   = flag.Int("rounds", 20, "GRASP r")
+		workers  = flag.Int("workers", 0, "candidate-sweep workers: 0 = sequential, -1 = all cores")
+		cache    = flag.Bool("cache", false, "memoize oracle evaluations by candidate set")
+		lazy     = flag.Bool("lazy", false, "use lazy (CELF) greedy when -alg greedy and the gain is submodular")
 		future   = flag.Int("future", 10, "number of future time points of interest")
 		scale    = flag.Float64("scale", 0.5, "dataset scale")
 		seed     = flag.Int64("seed", 1, "seed")
@@ -92,7 +95,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sel, err := prob.Solve(core.Algorithm(*alg), core.SolveOptions{Kappa: *kappa, Rounds: *rounds, Seed: *seed})
+	sel, err := prob.Solve(core.Algorithm(*alg), core.SolveOptions{
+		Kappa: *kappa, Rounds: *rounds, Seed: *seed,
+		Workers: *workers, Cache: *cache, Lazy: *lazy,
+	})
 	if err != nil {
 		fatal(err)
 	}

@@ -170,6 +170,21 @@ func IntersectCount(s, t *Set) int {
 	return c
 }
 
+// IntersectAndNotCount returns |a ∩ b \ c| without materialising any
+// intermediate set — a single fused pass of popcount(a ∧ b ∧ ¬c) per word.
+// It is the kernel of the incremental quality estimators: the number of
+// entities a candidate signature a contributes to a domain mask b beyond an
+// already-unioned signature c.
+func IntersectAndNotCount(a, b, c *Set) int {
+	a.sameUniverse(b)
+	a.sameUniverse(c)
+	n := 0
+	for i, w := range a.words {
+		n += bits.OnesCount64(w & b.words[i] &^ c.words[i])
+	}
+	return n
+}
+
 // Equal reports whether s and t contain the same elements over the same
 // universe.
 func (s *Set) Equal(t *Set) bool {

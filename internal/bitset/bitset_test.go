@@ -257,3 +257,38 @@ func BenchmarkUnionCount(b *testing.B) {
 		UnionCount(x, y)
 	}
 }
+
+func TestIntersectAndNotCount(t *testing.T) {
+	a := FromIndices(10, []int{0, 1, 2, 3, 4})
+	b := FromIndices(10, []int{1, 2, 3, 9})
+	c := FromIndices(10, []int{2, 5})
+	// a ∩ b = {1,2,3}; minus c = {1,3}.
+	if got := IntersectAndNotCount(a, b, c); got != 2 {
+		t.Errorf("IntersectAndNotCount = %d, want 2", got)
+	}
+	if got := IntersectAndNotCount(a, b, New(10)); got != 3 {
+		t.Errorf("against empty c = %d, want 3", got)
+	}
+}
+
+func TestQuickIntersectAndNotCount(t *testing.T) {
+	// Kernel count = |a ∩ b \ c| materialised the slow way.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, c := randSet(r, 257), randSet(r, 257), randSet(r, 257)
+		want := Difference(Intersect(a, b), c).Count()
+		return IntersectAndNotCount(a, b, c) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkIntersectAndNotCount(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	x, y, z := randSet(r, 1<<16), randSet(r, 1<<16), randSet(r, 1<<16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectAndNotCount(x, y, z)
+	}
+}

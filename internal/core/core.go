@@ -192,6 +192,17 @@ type SolveOptions struct {
 	Kappa, Rounds int
 	// Seed seeds GRASP's randomization.
 	Seed int64
+	// Workers fans each round's candidate sweep across this many
+	// goroutines: 0 keeps the sequential path, negative uses all cores.
+	// Results are deterministic and identical at any worker count.
+	Workers int
+	// Cache memoizes oracle evaluations by canonical set for the run.
+	// OracleCalls still reports the algorithm's probe count.
+	Cache bool
+	// Lazy uses the CELF lazy-greedy path for the Greedy algorithm when
+	// the gain function is submodular (where it is exact); otherwise it is
+	// ignored.
+	Lazy bool
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -249,25 +260,36 @@ func (p *Problem) Solve(alg Algorithm, opt SolveOptions) (*Selection, error) {
 	if len(p.ms) > 0 {
 		oracle = matroidOracle{Profit: p.profit, ms: p.ms}
 	}
+	if opt.Cache {
+		oracle = selection.Cached(oracle)
+	}
+	var sopts []selection.Option
+	if opt.Workers != 0 {
+		sopts = append(sopts, selection.Parallel(opt.Workers))
+	}
 
 	var res selection.Result
 	switch alg {
 	case Greedy:
-		res = selection.Greedy(oracle, n)
+		if opt.Lazy && p.Gain.Submodular() {
+			res = selection.LazyGreedy(oracle, n, sopts...)
+		} else {
+			res = selection.Greedy(oracle, n, sopts...)
+		}
 	case MaxSub:
 		if len(p.ms) > 0 {
-			res = selection.MatroidMax(oracle, n, p.ms, opt.Epsilon)
+			res = selection.MatroidMax(oracle, n, p.ms, opt.Epsilon, sopts...)
 		} else {
-			res = selection.MaxSub(oracle, n, opt.Epsilon)
+			res = selection.MaxSub(oracle, n, opt.Epsilon, sopts...)
 		}
 	case GRASP:
-		res = selection.GRASP(oracle, n, opt.Kappa, opt.Rounds, stats.NewRNG(opt.Seed))
+		res = selection.GRASP(oracle, n, opt.Kappa, opt.Rounds, stats.NewRNG(opt.Seed), sopts...)
 	case LazyGreedy:
-		res = selection.LazyGreedy(oracle, n)
+		res = selection.LazyGreedy(oracle, n, sopts...)
 	case Budgeted:
 		res = selection.BudgetedGreedy(oracle, n, func(i int) float64 {
 			return p.Trained.Cost.Cost(i) / p.Trained.Cost.Total()
-		})
+		}, sopts...)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
 	}

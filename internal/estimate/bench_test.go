@@ -74,3 +74,27 @@ func BenchmarkQualitySingleton(b *testing.B) {
 		e.Quality([]int{i % 20}, 400)
 	}
 }
+
+// BenchmarkQualityMultiAdd contrasts the greedy candidate probe before and
+// after the incremental SetState API: "scratch" re-unions the whole set per
+// probe (the old oracle cost), "incremental" layers one candidate on the
+// cached state via the triple-popcount kernel.
+func BenchmarkQualityMultiAdd(b *testing.B) {
+	e := getBenchEstimator(b)
+	set := []int{0, 2, 4, 6, 8, 10, 12, 14, 16, 18}
+	ticks := []timeline.Tick{310, 330, 350, 370, 390, 410, 430, 450, 470, 490}
+	b.Run("scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			x := 2*(i%10) + 1 // odd candidates are outside the set
+			e.QualityMulti(append(append([]int(nil), set...), x), ticks)
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		st := e.NewSetState(set)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			x := 2*(i%10) + 1
+			e.QualityMultiAdd(st, x, ticks)
+		}
+	})
+}

@@ -86,6 +86,10 @@ type Estimator struct {
 	// free of math.Exp calls.
 	survDel, survUpd       [][]float64
 	lamIns, lamDel, lamUpd [][]float64
+
+	// scratch pools the per-call miss-probability buffers so concurrent
+	// quality queries (parallel candidate sweeps) stay allocation-light.
+	scratch sync.Pool
 }
 
 // New builds an estimator for the query domain pts (nil = every point of
@@ -308,60 +312,18 @@ func (e *Estimator) Quality(set []int, t timeline.Tick) QualityEstimate {
 
 // QualityMulti estimates quality at several future ticks, computing the
 // signature unions once. Ticks must lie in [T0, MaxT].
+//
+// It is safe for concurrent use: parallel candidate sweeps may probe the
+// estimator from many goroutines at once.
 func (e *Estimator) QualityMulti(set []int, ts []timeline.Tick) []QualityEstimate {
 	sp := obs.Start("estimate.quality.seconds")
-	for _, t := range ts {
-		if t < e.T0 || t > e.MaxT {
-			panic(fmt.Sprintf("estimate: tick %d outside [%d, %d]", t, e.T0, e.MaxT))
-		}
-	}
-	// Union signatures over the set (deduplicating shared signatures is
-	// unnecessary: union is idempotent).
-	var uB, uCov, uUp *bitset.Set
-	for _, i := range set {
-		p := e.cands[i].Profile
-		if uB == nil {
-			uB, uCov, uUp = p.B.Clone(), p.Bcov.Clone(), p.Bup.Clone()
-			continue
-		}
-		uB.UnionWith(p.B)
-		uCov.UnionWith(p.Bcov)
-		uUp.UnionWith(p.Bup)
-	}
+	e.checkTicks(ts)
+	st := e.NewSetState(set)
 
-	// Per-point t0 content counts and covering-candidate lists, computed
-	// once per set.
-	nPts := len(e.points)
-	covT0 := make([]int, nPts)
-	upT0 := make([]int, nPts)
-	sizeT0 := make([]int, nPts)
-	covering := make([][]*Candidate, nPts)
-	if uB != nil {
-		for j := range e.points {
-			covT0[j] = bitset.IntersectCount(uCov, e.masks[j])
-			upT0[j] = bitset.IntersectCount(uUp, e.masks[j])
-			sizeT0[j] = bitset.IntersectCount(uB, e.masks[j])
-		}
-	}
-	for j := range e.points {
-		for _, i := range set {
-			if e.cands[i].covers[j] {
-				covering[j] = append(covering[j], e.cands[i])
-			}
-		}
-	}
-
-	// Scratch miss-probability buffers shared across points and ticks.
-	span := int(e.MaxT - e.T0)
-	scratch := &missBuffers{
-		ins: make([]float64, span),
-		del: make([]float64, span),
-		upd: make([]float64, span),
-	}
-
+	scratch := e.getScratch()
 	out := make([]QualityEstimate, len(ts))
 	for k, t := range ts {
-		out[k] = e.qualityAt(t, covT0, upT0, sizeT0, covering, scratch)
+		out[k] = e.qualityAt(t, st.covT0, st.upT0, st.sizeT0, st.covering, nil, nil, scratch)
 	}
 
 	// Telemetry, batched: one set of counter adds per estimate call, so
@@ -371,16 +333,19 @@ func (e *Estimator) QualityMulti(set []int, ts []timeline.Tick) []QualityEstimat
 		obs.Counter("estimate.quality.calls").Add(1)
 		obs.Counter("estimate.quality.ticks").Add(int64(len(ts)))
 		obs.Counter("estimate.quality.set_size").Add(int64(len(set)))
-		if n := len(set); n > 1 {
-			obs.Counter("estimate.signature.unions").Add(int64(3 * (n - 1)))
-		}
-		if uB != nil {
-			obs.Counter("estimate.signature.intersects").Add(int64(3 * nPts))
-		}
 		obs.Counter("estimate.recurrence.steps").Add(scratch.steps)
 		obs.Counter("estimate.recurrence.cand_terms").Add(scratch.candTerms)
 	}
+	e.putScratch(scratch)
 	return out
+}
+
+func (e *Estimator) checkTicks(ts []timeline.Tick) {
+	for _, t := range ts {
+		if t < e.T0 || t > e.MaxT {
+			panic(fmt.Sprintf("estimate: tick %d outside [%d, %d]", t, e.T0, e.MaxT))
+		}
+	}
 }
 
 type missBuffers struct {
@@ -391,9 +356,56 @@ type missBuffers struct {
 	steps, candTerms int64
 }
 
+// getScratch takes a zeroed miss-buffer set from the pool.
+func (e *Estimator) getScratch() *missBuffers {
+	if v := e.scratch.Get(); v != nil {
+		b := v.(*missBuffers)
+		b.steps, b.candTerms = 0, 0
+		return b
+	}
+	span := int(e.MaxT - e.T0)
+	return &missBuffers{
+		ins: make([]float64, span),
+		del: make([]float64, span),
+		upd: make([]float64, span),
+	}
+}
+
+func (e *Estimator) putScratch(b *missBuffers) { e.scratch.Put(b) }
+
+// candidateMiss folds one covering candidate's effectiveness into the miss
+// probabilities over occurrence indices 0 … dt0−1 (Eq. 9–11), returning the
+// number of per-candidate terms applied. Keeping this in one place
+// guarantees the incremental add path multiplies bit-identically to the
+// from-scratch path.
+func (e *Estimator) candidateMiss(c *Candidate, t timeline.Tick, dt0 int, missIns, missDel, missUpd []float64) int64 {
+	ts := c.Profile.TS(t)
+	if e.NoAlignment {
+		ts = t
+	}
+	// eff(τ) = tab[ts−τ] for τ ≤ ts; zero beyond.
+	iMax := int(ts - e.T0 - 1) // largest i with τ = T0+1+i ≤ ts
+	if iMax >= dt0 {
+		iMax = dt0 - 1
+	}
+	cv := c.Profile.CoverageT0
+	for i := 0; i <= iMax; i++ {
+		d := int(ts-e.T0) - 1 - i
+		missIns[i] *= 1 - c.gi[d]
+		missDel[i] *= 1 - cv*c.gd[d]
+		missUpd[i] *= 1 - cv*c.gu[d]
+	}
+	return int64(iMax + 1)
+}
+
 // qualityAt evaluates Equations 12–19 at one tick. covering[j] lists the
-// set's candidates that observe point j; scratch holds reusable buffers.
-func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, covering [][]*Candidate, scratch *missBuffers) QualityEstimate {
+// set's candidates that observe point j. base, when non-nil, supplies the
+// covering lists' pre-folded miss products for this tick (copied instead of
+// recomputed). extra, when non-nil, is one more candidate layered on top
+// (the incremental add path) whose effectiveness terms apply after
+// covering[j]'s — the same order as a from-scratch evaluation of the set
+// with extra appended last; scratch holds reusable buffers.
+func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, covering [][]*Candidate, base *tickMiss, extra *Candidate, scratch *missBuffers) QualityEstimate {
 	var omega, covered, up, size float64
 	dt0 := int(t - e.T0)
 
@@ -418,27 +430,20 @@ func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, coveri
 		missIns := scratch.ins[:dt0]
 		missDel := scratch.del[:dt0]
 		missUpd := scratch.upd[:dt0]
-		for i := range missIns {
-			missIns[i], missDel[i], missUpd[i] = 1, 1, 1
+		if base != nil {
+			copy(missIns, base.ins[j])
+			copy(missDel, base.del[j])
+			copy(missUpd, base.upd[j])
+		} else {
+			for i := range missIns {
+				missIns[i], missDel[i], missUpd[i] = 1, 1, 1
+			}
+			for _, c := range covering[j] {
+				scratch.candTerms += e.candidateMiss(c, t, dt0, missIns, missDel, missUpd)
+			}
 		}
-		for _, c := range covering[j] {
-			ts := c.Profile.TS(t)
-			if e.NoAlignment {
-				ts = t
-			}
-			// eff(τ) = tab[ts−τ] for τ ≤ ts; zero beyond.
-			iMax := int(ts - e.T0 - 1) // largest i with τ = T0+1+i ≤ ts
-			if iMax >= dt0 {
-				iMax = dt0 - 1
-			}
-			cv := c.Profile.CoverageT0
-			for i := 0; i <= iMax; i++ {
-				d := int(ts-e.T0) - 1 - i
-				missIns[i] *= 1 - c.gi[d]
-				missDel[i] *= 1 - cv*c.gd[d]
-				missUpd[i] *= 1 - cv*c.gu[d]
-			}
-			scratch.candTerms += int64(iMax + 1)
+		if extra != nil && extra.covers[j] {
+			scratch.candTerms += e.candidateMiss(extra, t, dt0, missIns, missDel, missUpd)
 		}
 		scratch.steps += int64(dt0)
 

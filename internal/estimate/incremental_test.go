@@ -1,0 +1,116 @@
+package estimate
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"freshsource/internal/timeline"
+)
+
+// TestQualityMultiAddBitIdentical: the incremental add path must reproduce
+// the from-scratch estimate bit for bit (==, no tolerance) — the selection
+// algorithms rely on this to make the incremental sweeps return the exact
+// sequential result.
+func TestQualityMultiAddBitIdentical(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	ticks := []timeline.Tick{310, 350, 400, 440}
+	r := rand.New(rand.NewSource(7))
+
+	n := e.NumCandidates()
+	for trial := 0; trial < 60; trial++ {
+		// A random base set (possibly empty) and a random x outside it.
+		var set []int
+		member := make([]bool, n)
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				set = append(set, i)
+				member[i] = true
+			}
+		}
+		if len(set) == n {
+			set, member[set[len(set)-1]] = set[:len(set)-1], false
+		}
+		x := r.Intn(n)
+		for member[x] {
+			x = r.Intn(n)
+		}
+
+		st := e.NewSetState(set)
+		inc := e.QualityMultiAdd(st, x, ticks)
+		ref := e.QualityMulti(append(append([]int(nil), set...), x), ticks)
+		for k := range ticks {
+			if inc[k] != ref[k] {
+				t.Fatalf("trial %d set=%v x=%d tick %d:\nincremental %+v\nfrom-scratch %+v",
+					trial, set, x, ticks[k], inc[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestQualityMultiAddEmptyBase: adding to the empty state must equal the
+// singleton estimate.
+func TestQualityMultiAddEmptyBase(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	ticks := []timeline.Tick{320, 420}
+	st := e.NewSetState(nil)
+	for x := 0; x < e.NumCandidates(); x++ {
+		inc := e.QualityMultiAdd(st, x, ticks)
+		ref := e.QualityMulti([]int{x}, ticks)
+		for k := range ticks {
+			if inc[k] != ref[k] {
+				t.Fatalf("x=%d tick %d: incremental %+v != singleton %+v", x, ticks[k], inc[k], ref[k])
+			}
+		}
+	}
+}
+
+// TestSetStateConcurrentProbes: one shared state probed from many
+// goroutines (the parallel-sweep access pattern) must stay correct; run
+// under -race this doubles as the estimator's concurrency test.
+func TestSetStateConcurrentProbes(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	ticks := []timeline.Tick{330, 380, 430}
+	st := e.NewSetState([]int{0})
+
+	want := make([][]QualityEstimate, e.NumCandidates())
+	for x := 1; x < e.NumCandidates(); x++ {
+		want[x] = e.QualityMulti([]int{0, x}, ticks)
+	}
+
+	var wg sync.WaitGroup
+	for rep := 0; rep < 4; rep++ {
+		for x := 1; x < e.NumCandidates(); x++ {
+			wg.Add(1)
+			go func(x int) {
+				defer wg.Done()
+				got := e.QualityMultiAdd(st, x, ticks)
+				for k := range ticks {
+					if got[k] != want[x][k] {
+						t.Errorf("concurrent probe x=%d tick %d mismatch", x, ticks[k])
+						return
+					}
+				}
+			}(x)
+		}
+	}
+	wg.Wait()
+}
+
+// TestSetStateCachesMatchFromScratch: the state's cached t0 counts equal a
+// from-scratch QualityMulti evaluation at t0 boundary behavior — i.e. the
+// state-built covering lists drive identical estimates.
+func TestSetStateReusableAcrossTicks(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	st := e.NewSetState([]int{1, 2})
+	// The same state serves probes at different tick vectors.
+	a := e.QualityMultiAdd(st, 0, []timeline.Tick{310})
+	b := e.QualityMultiAdd(st, 0, []timeline.Tick{310, 440})
+	if a[0] != b[0] {
+		t.Errorf("same tick through different vectors: %+v != %+v", a[0], b[0])
+	}
+}

@@ -1,0 +1,210 @@
+package estimate
+
+import (
+	"sync"
+
+	"freshsource/internal/bitset"
+	"freshsource/internal/obs"
+	"freshsource/internal/timeline"
+)
+
+// SetState caches everything a quality estimate derives from a candidate
+// set alone — the union signatures B, Bcov and Bup, the per-point t0
+// content counts, and the covering-candidate lists — so that evaluating
+// single-candidate additions (the probe of every greedy-style sweep) skips
+// re-unioning the whole set.
+//
+// Invariants:
+//
+//   - A SetState is immutable after construction and safe to share across
+//     goroutines; parallel sweeps probe one state concurrently.
+//   - QualityMultiAdd(st, x, ts) requires x ∉ st's set; it layers x's
+//     contribution on top of the cached unions, which double-applies x's
+//     effectiveness terms if x is already a member.
+//   - The state belongs to the Estimator that built it and goes stale if
+//     SetLinearOmega toggles (t0 counts stay valid, but cached results
+//     should be re-derived for apples-to-apples comparisons).
+type SetState struct {
+	e   *Estimator
+	set []int
+
+	// uB, uCov and uUp are the set's union signatures; all nil for the
+	// empty set.
+	uB, uCov, uUp *bitset.Set
+
+	// covT0, upT0 and sizeT0 are |union ∩ mask_j| per query point j for the
+	// Bcov, Bup and B unions.
+	covT0, upT0, sizeT0 []int
+
+	// covering[j] lists the set's candidates observing point j, in set
+	// order — the multiplication order of the miss-probability products.
+	covering [][]*Candidate
+
+	// miss caches the base set's miss-probability products per tick, built
+	// lazily on first probe of each tick: a probe then copies the arrays
+	// and applies only the added candidate's terms instead of refolding
+	// every covering candidate — the O(|set|·span) → O(span) step.
+	mu   sync.RWMutex
+	miss map[timeline.Tick]*tickMiss
+}
+
+// tickMiss holds, for one tick, the per-point miss-probability products of
+// the base covering lists over occurrence indices 0 … dt0−1.
+type tickMiss struct {
+	ins, del, upd [][]float64
+}
+
+// missAt returns the cached base miss products for tick t, building them on
+// first use. Concurrent builders may race benignly; the first stored value
+// wins and all candidates compute identical arrays.
+func (st *SetState) missAt(t timeline.Tick) *tickMiss {
+	st.mu.RLock()
+	m := st.miss[t]
+	st.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	m = st.e.buildMiss(st.covering, t)
+	st.mu.Lock()
+	if prev := st.miss[t]; prev != nil {
+		m = prev
+	} else {
+		if st.miss == nil {
+			st.miss = make(map[timeline.Tick]*tickMiss)
+		}
+		st.miss[t] = m
+	}
+	st.mu.Unlock()
+	return m
+}
+
+// buildMiss folds the covering lists' effectiveness terms at one tick, in
+// covering order — exactly the prefix of the products qualityAt computes
+// from scratch.
+func (e *Estimator) buildMiss(covering [][]*Candidate, t timeline.Tick) *tickMiss {
+	dt0 := int(t - e.T0)
+	nPts := len(e.points)
+	m := &tickMiss{
+		ins: make([][]float64, nPts),
+		del: make([][]float64, nPts),
+		upd: make([][]float64, nPts),
+	}
+	for j := range e.points {
+		ins := make([]float64, dt0)
+		del := make([]float64, dt0)
+		upd := make([]float64, dt0)
+		for i := 0; i < dt0; i++ {
+			ins[i], del[i], upd[i] = 1, 1, 1
+		}
+		for _, c := range covering[j] {
+			e.candidateMiss(c, t, dt0, ins, del, upd)
+		}
+		m.ins[j], m.del[j], m.upd[j] = ins, del, upd
+	}
+	return m
+}
+
+// Set returns the candidate set the state was built from (not a copy; do
+// not mutate).
+func (st *SetState) Set() []int { return st.set }
+
+// NewSetState builds the cached state of a candidate set. The work is the
+// same as the set-dependent prefix of QualityMulti: one signature union
+// pass plus 3·|points| intersect counts.
+func (e *Estimator) NewSetState(set []int) *SetState {
+	st := &SetState{e: e, set: append([]int(nil), set...)}
+
+	// Union signatures over the set (deduplicating shared signatures is
+	// unnecessary: union is idempotent).
+	for _, i := range set {
+		p := e.cands[i].Profile
+		if st.uB == nil {
+			st.uB, st.uCov, st.uUp = p.B.Clone(), p.Bcov.Clone(), p.Bup.Clone()
+			continue
+		}
+		st.uB.UnionWith(p.B)
+		st.uCov.UnionWith(p.Bcov)
+		st.uUp.UnionWith(p.Bup)
+	}
+
+	// Per-point t0 content counts and covering-candidate lists, computed
+	// once per set.
+	nPts := len(e.points)
+	counts := make([]int, 3*nPts)
+	st.covT0, st.upT0, st.sizeT0 = counts[:nPts:nPts], counts[nPts:2*nPts:2*nPts], counts[2*nPts:]
+	st.covering = make([][]*Candidate, nPts)
+	if st.uB != nil {
+		for j := range e.points {
+			st.covT0[j] = bitset.IntersectCount(st.uCov, e.masks[j])
+			st.upT0[j] = bitset.IntersectCount(st.uUp, e.masks[j])
+			st.sizeT0[j] = bitset.IntersectCount(st.uB, e.masks[j])
+		}
+	}
+	for j := range e.points {
+		for _, i := range set {
+			if e.cands[i].covers[j] {
+				st.covering[j] = append(st.covering[j], e.cands[i])
+			}
+		}
+	}
+
+	if obs.Enabled() {
+		obs.Counter("estimate.setstate.builds").Add(1)
+		if n := len(set); n > 1 {
+			obs.Counter("estimate.signature.unions").Add(int64(3 * (n - 1)))
+		}
+		if st.uB != nil {
+			obs.Counter("estimate.signature.intersects").Add(int64(3 * nPts))
+		}
+	}
+	return st
+}
+
+// QualityMultiAdd estimates the quality of st's set ∪ {x} at the given
+// ticks without rebuilding the set's unions: candidate x's t0 contribution
+// per query point is a fused triple-popcount count(x ∧ mask ∧ ¬union) over
+// the cached union signatures, and its effectiveness terms layer after the
+// cached covering lists'. The result is bit-identical to
+// QualityMulti(append(set, x), ts).
+//
+// x must not already be a member of st's set (see the SetState
+// invariants). Safe for concurrent calls sharing one state.
+func (e *Estimator) QualityMultiAdd(st *SetState, x int, ts []timeline.Tick) []QualityEstimate {
+	sp := obs.Start("estimate.quality_add.seconds")
+	e.checkTicks(ts)
+	xc := e.cands[x]
+	xp := xc.Profile
+
+	// Adjusted t0 counts: cached count + what x adds beyond the union.
+	nPts := len(e.points)
+	counts := make([]int, 3*nPts)
+	covT0, upT0, sizeT0 := counts[:nPts:nPts], counts[nPts:2*nPts:2*nPts], counts[2*nPts:]
+	for j := range e.points {
+		if st.uB == nil {
+			covT0[j] = bitset.IntersectCount(xp.Bcov, e.masks[j])
+			upT0[j] = bitset.IntersectCount(xp.Bup, e.masks[j])
+			sizeT0[j] = bitset.IntersectCount(xp.B, e.masks[j])
+		} else {
+			covT0[j] = st.covT0[j] + bitset.IntersectAndNotCount(xp.Bcov, e.masks[j], st.uCov)
+			upT0[j] = st.upT0[j] + bitset.IntersectAndNotCount(xp.Bup, e.masks[j], st.uUp)
+			sizeT0[j] = st.sizeT0[j] + bitset.IntersectAndNotCount(xp.B, e.masks[j], st.uB)
+		}
+	}
+
+	scratch := e.getScratch()
+	out := make([]QualityEstimate, len(ts))
+	for k, t := range ts {
+		out[k] = e.qualityAt(t, covT0, upT0, sizeT0, st.covering, st.missAt(t), xc, scratch)
+	}
+
+	sp.End()
+	if obs.Enabled() {
+		obs.Counter("estimate.quality.add_calls").Add(1)
+		obs.Counter("estimate.quality.ticks").Add(int64(len(ts)))
+		obs.Counter("estimate.signature.kernel_counts").Add(int64(3 * nPts))
+		obs.Counter("estimate.recurrence.steps").Add(scratch.steps)
+		obs.Counter("estimate.recurrence.cand_terms").Add(scratch.candTerms)
+	}
+	e.putScratch(scratch)
+	return out
+}

@@ -32,6 +32,12 @@ type Config struct {
 	Epsilon float64
 	// Seed drives every randomized component.
 	Seed int64
+	// Workers fans each selection run's candidate sweeps across this many
+	// goroutines (0 = sequential, negative = all cores); results are
+	// identical at any setting.
+	Workers int
+	// CacheOracle memoizes oracle evaluations by candidate set per run.
+	CacheOracle bool
 }
 
 // Default is the full-size configuration used by cmd/experiments.

@@ -38,7 +38,10 @@ func Fig12(env *Env) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			sel, err := prob.Solve(core.GRASP, core.SolveOptions{Kappa: 5, Rounds: 20, Seed: env.Cfg.Seed, Epsilon: env.Cfg.Epsilon})
+			sel, err := prob.Solve(core.GRASP, core.SolveOptions{
+				Kappa: 5, Rounds: 20, Seed: env.Cfg.Seed, Epsilon: env.Cfg.Epsilon,
+				Workers: env.Cfg.Workers, Cache: env.Cfg.CacheOracle,
+			})
 			if err != nil {
 				return nil, err
 			}

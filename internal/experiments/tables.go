@@ -42,6 +42,8 @@ func (e *Env) solve(prob *core.Problem, spec algoSpec) (*core.Selection, error) 
 		Kappa:   spec.kappa,
 		Rounds:  spec.r,
 		Seed:    e.Cfg.Seed,
+		Workers: e.Cfg.Workers,
+		Cache:   e.Cfg.CacheOracle,
 	})
 }
 

@@ -11,6 +11,7 @@ package gain
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"freshsource/internal/estimate"
 	"freshsource/internal/obs"
@@ -269,7 +270,9 @@ type Profit struct {
 	// SetWeights, which validates.
 	weights []float64
 
-	calls int
+	// calls is atomic: parallel candidate sweeps evaluate the oracle from
+	// many goroutines at once, and the count must stay exact.
+	calls atomic.Int64
 }
 
 // SetWeights installs a non-negative weighting over the time points of
@@ -331,11 +334,21 @@ func NewProfit(e *estimate.Estimator, ticks []timeline.Tick, g Function, c *Cost
 }
 
 // Value implements the value oracle: average rescaled gain over Tf minus
-// rescaled cost.
+// rescaled cost. Safe for concurrent use.
 func (p *Profit) Value(set []int) float64 {
-	p.calls++
+	p.calls.Add(1)
 	obs.Counter("gain.profit.value_calls").Inc()
 	qs := p.Est.QualityMulti(set, p.Ticks)
+	var cost float64
+	if p.Cost != nil {
+		cost = p.Cost.SetCost(set)
+	}
+	return p.profitOf(qs, cost)
+}
+
+// profitOf turns per-tick quality estimates and an unscaled set cost into
+// the rescaled profit.
+func (p *Profit) profitOf(qs []estimate.QualityEstimate, cost float64) float64 {
 	gains := make([]float64, len(qs))
 	for i, q := range qs {
 		gains[i] = p.Gain.Eval(q)
@@ -346,9 +359,46 @@ func (p *Profit) Value(set []int) float64 {
 	}
 	var c float64
 	if p.Cost != nil {
-		c = p.CostWeight * p.Cost.SetCost(set) / p.Cost.Total()
+		c = p.CostWeight * cost / p.Cost.Total()
 	}
 	return g - c
+}
+
+// ProfitState caches a set's estimation state and cost sum so that
+// single-candidate additions — the probe of every greedy-style sweep — are
+// evaluated incrementally. Build with BeginAdd, probe with ValueAdd; the
+// state is immutable and safe to share across concurrent probes.
+type ProfitState struct {
+	st *estimate.SetState
+	// cost is the set's unscaled additive cost, accumulated in set order so
+	// the incremental sum is bit-identical to SetCost(append(set, x)).
+	cost float64
+}
+
+// BeginAdd caches the evaluation state of set for subsequent ValueAdd
+// probes. It performs no oracle evaluation and is not counted as one.
+func (p *Profit) BeginAdd(set []int) any {
+	var cost float64
+	if p.Cost != nil {
+		cost = p.Cost.SetCost(set)
+	}
+	return &ProfitState{st: p.Est.NewSetState(set), cost: cost}
+}
+
+// ValueAdd returns Value(set ∪ {x}) for the state's set, layering x's
+// contribution on the cached signatures instead of re-unioning the set. It
+// counts as one oracle call, like the Value evaluation it replaces, and
+// returns a bit-identical result. x must not be in the state's set.
+func (p *Profit) ValueAdd(state any, x int) float64 {
+	st := state.(*ProfitState)
+	p.calls.Add(1)
+	obs.Counter("gain.profit.value_add_calls").Inc()
+	qs := p.Est.QualityMultiAdd(st.st, x, p.Ticks)
+	cost := st.cost
+	if p.Cost != nil {
+		cost += p.Cost.Cost(x)
+	}
+	return p.profitOf(qs, cost)
 }
 
 // GainOnly returns the average rescaled gain of a set (no cost), used for
@@ -389,8 +439,9 @@ func (p *Profit) Feasible(set []int) bool {
 	return false
 }
 
-// Calls returns the number of oracle evaluations so far.
-func (p *Profit) Calls() int { return p.calls }
+// Calls returns the number of oracle evaluations so far (Value and
+// ValueAdd alike).
+func (p *Profit) Calls() int { return int(p.calls.Load()) }
 
 // ResetCalls zeroes the oracle-call counter.
-func (p *Profit) ResetCalls() { p.calls = 0 }
+func (p *Profit) ResetCalls() { p.calls.Store(0) }

@@ -1,0 +1,59 @@
+package gain
+
+import (
+	"testing"
+
+	"freshsource/internal/timeline"
+)
+
+// TestProfitValueAddMatchesValue pins the incremental-oracle contract:
+// ValueAdd(BeginAdd(set), x) is bit-identical to Value(set ∪ {x}) — not
+// approximately equal — and counts exactly one oracle call (BeginAdd counts
+// none), so OracleCalls stays identical across the two paths.
+func TestProfitValueAddMatchesValue(t *testing.T) {
+	e, _ := buildFixture(t)
+	cm, err := NewSharedItemCost(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ticks := []timeline.Tick{210, 230, 250}
+	p, err := NewProfit(e, ticks, Quad{Metric: Coverage}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	n := e.NumCandidates()
+	sets := [][]int{nil, {0}, {1}, {0, 2}, {2, 1}}
+	for _, set := range sets {
+		member := make(map[int]bool)
+		for _, i := range set {
+			member[i] = true
+		}
+		p.ResetCalls()
+		st := p.BeginAdd(set)
+		if st == nil {
+			t.Fatalf("BeginAdd(%v) declined", set)
+		}
+		if p.Calls() != 0 {
+			t.Errorf("BeginAdd(%v) counted %d calls, want 0", set, p.Calls())
+		}
+		for x := 0; x < n; x++ {
+			if member[x] {
+				continue
+			}
+			got := p.ValueAdd(st, x)
+			want := p.Value(append(append([]int(nil), set...), x))
+			if got != want {
+				t.Errorf("ValueAdd(%v, %d) = %v, Value = %v (not bit-identical)", set, x, got, want)
+			}
+		}
+	}
+
+	// Call accounting: one ValueAdd counts like one Value.
+	p.ResetCalls()
+	st := p.BeginAdd([]int{0})
+	p.ValueAdd(st, 1)
+	if p.Calls() != 1 {
+		t.Errorf("ValueAdd counted %d calls, want 1", p.Calls())
+	}
+}

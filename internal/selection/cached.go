@@ -1,0 +1,140 @@
+package selection
+
+import (
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"freshsource/internal/obs"
+)
+
+// CachedOracle memoizes Value evaluations keyed by the canonical
+// (order-insensitive) set, so the local-search algorithms — which revisit
+// the same candidate sets across rounds (delete sweeps after a failed add,
+// GRASP restarts converging to the same basin) — pay for each distinct set
+// once. It is safe for concurrent use, so parallel sweeps share one cache.
+//
+// Layering: algorithms wrap their oracle as Count(Cached(f)), which this
+// package does automatically when the cache is handed in; the counter sits
+// above the cache, so Result.OracleCalls still reports the algorithm's
+// probe count and stays identical with and without caching. Cache
+// effectiveness is visible separately via Hits/Misses and the
+// selection.cache.{hits,misses} obs counters.
+type CachedOracle struct {
+	inner Oracle
+
+	mu   sync.Mutex
+	vals map[string]float64
+
+	hits, misses       atomic.Int64
+	obsHits, obsMisses *obs.CounterVar
+}
+
+// Cached wraps f in a CachedOracle. Wrapping a CachedOracle returns it
+// unchanged so layers stay idempotent.
+func Cached(f Oracle) *CachedOracle {
+	if c, ok := f.(*CachedOracle); ok {
+		return c
+	}
+	return &CachedOracle{
+		inner:     f,
+		vals:      make(map[string]float64),
+		obsHits:   obs.Counter("selection.cache.hits"),
+		obsMisses: obs.Counter("selection.cache.misses"),
+	}
+}
+
+// setKey canonicalizes a set into a map key: sorted order, varint-packed.
+// Any permutation of the same set produces the same key.
+func setKey(set []int) string {
+	s := append([]int(nil), set...)
+	sort.Ints(s)
+	buf := make([]byte, 0, binary.MaxVarintLen64*len(s))
+	for _, x := range s {
+		buf = binary.AppendVarint(buf, int64(x))
+	}
+	return string(buf)
+}
+
+// lookup returns the memoized value for key, or computes it via miss and
+// stores it. The inner evaluation runs outside the lock so parallel sweeps
+// can overlap distinct evaluations; concurrent misses of the same key both
+// evaluate (identical results — the oracle is deterministic) and the last
+// store wins.
+func (c *CachedOracle) lookup(key string, miss func() float64) float64 {
+	c.mu.Lock()
+	v, ok := c.vals[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		c.obsHits.Add(1)
+		return v
+	}
+	c.misses.Add(1)
+	c.obsMisses.Add(1)
+	v = miss()
+	c.mu.Lock()
+	c.vals[key] = v
+	c.mu.Unlock()
+	return v
+}
+
+// Value implements Oracle, memoizing by canonical set.
+func (c *CachedOracle) Value(set []int) float64 {
+	return c.lookup(setKey(set), func() float64 { return c.inner.Value(set) })
+}
+
+// Feasible implements Oracle. Feasibility is not memoized: budget checks
+// are cheap relative to quality evaluation and keeping them live avoids a
+// second map on the hot path.
+func (c *CachedOracle) Feasible(set []int) bool { return c.inner.Feasible(set) }
+
+// cachedAddState carries the base set for key derivation plus the inner
+// oracle's incremental state (nil when the inner oracle declined or is not
+// incremental — misses then fall back to a full Value evaluation).
+type cachedAddState struct {
+	set   []int
+	inner any
+}
+
+// BeginAdd implements IncrementalOracle. It always accepts: even without
+// an incremental inner oracle the memoized add-probe path pays off, since
+// repeated sweeps probe the same supersets.
+func (c *CachedOracle) BeginAdd(set []int) any {
+	st := &cachedAddState{set: append([]int(nil), set...)}
+	if io, ok := c.inner.(IncrementalOracle); ok {
+		st.inner = io.BeginAdd(set)
+	}
+	return st
+}
+
+// ValueAdd implements IncrementalOracle: the memoized value of
+// set ∪ {x}, computed on a miss through the inner incremental state when
+// available.
+func (c *CachedOracle) ValueAdd(state any, x int) float64 {
+	st := state.(*cachedAddState)
+	cand := with(st.set, x)
+	return c.lookup(setKey(cand), func() float64 {
+		if st.inner != nil {
+			return c.inner.(IncrementalOracle).ValueAdd(st.inner, x)
+		}
+		return c.inner.Value(cand)
+	})
+}
+
+// Hits returns the number of memoized evaluations served so far.
+func (c *CachedOracle) Hits() int { return int(c.hits.Load()) }
+
+// Misses returns the number of evaluations that went to the inner oracle.
+func (c *CachedOracle) Misses() int { return int(c.misses.Load()) }
+
+// Len returns the number of distinct sets memoized.
+func (c *CachedOracle) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.vals)
+}
+
+// Unwrap returns the wrapped oracle.
+func (c *CachedOracle) Unwrap() Oracle { return c.inner }

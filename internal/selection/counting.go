@@ -55,6 +55,44 @@ func (c *CountingOracle) Feasible(set []int) bool {
 	return c.inner.Feasible(set)
 }
 
+// IncrementalOracle is an Oracle that can probe single-candidate additions
+// against cached set state — the access pattern of every greedy-style
+// sweep. gain.Profit implements it by layering the candidate's signatures
+// on cached unions instead of re-unioning the whole set.
+type IncrementalOracle interface {
+	Oracle
+	// BeginAdd caches evaluation state for set; it may return nil to
+	// decline (callers then fall back to full Value probes). The returned
+	// state must be immutable: parallel sweeps issue concurrent ValueAdd
+	// probes against it.
+	BeginAdd(set []int) any
+	// ValueAdd returns Value(set ∪ {x}) using the cached state, bit-identical
+	// to the full evaluation. x must not be in the state's set.
+	ValueAdd(state any, x int) float64
+}
+
+// tryBeginAdd returns add-probe state for set when the wrapped oracle
+// supports incremental evaluation.
+func (c *CountingOracle) tryBeginAdd(set []int) (any, bool) {
+	io, ok := c.inner.(IncrementalOracle)
+	if !ok {
+		return nil, false
+	}
+	st := io.BeginAdd(set)
+	if st == nil {
+		return nil, false
+	}
+	return st, true
+}
+
+// valueAdd counts an incremental probe exactly like the Value evaluation
+// it replaces, keeping OracleCalls identical across the two paths.
+func (c *CountingOracle) valueAdd(state any, x int) float64 {
+	c.value.Add(1)
+	c.obsValue.Add(1)
+	return c.inner.(IncrementalOracle).ValueAdd(state, x)
+}
+
 // Calls returns the number of Value evaluations so far.
 func (c *CountingOracle) Calls() int { return int(c.value.Load()) }
 

@@ -48,19 +48,31 @@ func (h *marginalHeap) Pop() interface{} {
 // LazyGreedy runs the accelerated greedy. It is exact for Greedy's move
 // sequence when the objective is monotone submodular; on non-submodular
 // objectives it is a heuristic (stale bounds may hide a better candidate).
-func LazyGreedy(f Oracle, n int) Result {
+func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 	co, rt := traceRun(f, "lazygreedy")
 	stale := obs.Counter("selection.lazygreedy.stale_recomputes")
+	ev := newEvaluator(opts)
 	var set []int
 	cur := co.Value(set)
 
-	h := make(marginalHeap, 0, n)
-	for x := 0; x < n; x++ {
+	// Initial bounds: one full singleton sweep.
+	vals := make([]float64, n)
+	ok := make([]bool, n)
+	probe := beginAdds(co, set)
+	ev.sweep(n, func(x int) {
+		ok[x] = false
 		cand := with(set, x)
 		if !co.Feasible(cand) {
-			continue
+			return
 		}
-		h = append(h, &marginalItem{idx: x, gain: co.Value(cand) - cur, round: 0})
+		vals[x] = probe.value(cand, x)
+		ok[x] = true
+	})
+	h := make(marginalHeap, 0, n)
+	for x := 0; x < n; x++ {
+		if ok[x] {
+			h = append(h, &marginalItem{idx: x, gain: vals[x] - cur, round: 0})
+		}
 	}
 	heap.Init(&h)
 
@@ -77,7 +89,7 @@ func LazyGreedy(f Oracle, n int) Result {
 				heap.Pop(&h)
 				continue
 			}
-			top.gain = co.Value(cand) - cur
+			top.gain = probe.value(cand, top.idx) - cur
 			top.round = round
 			stale.Inc()
 			heap.Fix(&h, 0)
@@ -88,6 +100,7 @@ func LazyGreedy(f Oracle, n int) Result {
 		set = with(set, top.idx)
 		cur += top.gain
 		round++
+		probe = beginAdds(co, set)
 	}
 	// cur accumulated incrementally; report the oracle's exact value.
 	cur = co.Value(set)
@@ -98,28 +111,38 @@ func LazyGreedy(f Oracle, n int) Result {
 // constraint using cost-per-unit marginals, returning the better of the
 // ratio-greedy solution and the best feasible singleton. cost reports each
 // candidate's (rescaled) cost.
-func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
+func BudgetedGreedy(f Oracle, n int, cost func(int) float64, opts ...Option) Result {
 	co, rt := traceRun(f, "budgeted")
-	f = co
+	ev := newEvaluator(opts)
 
 	// Ratio greedy.
 	var set []int
-	cur := f.Value(set)
+	cur := co.Value(set)
 	taken := make([]bool, n)
+	vals := make([]float64, n)
+	ok := make([]bool, n)
 	for {
+		probe := beginAdds(co, set)
+		ev.sweep(n, func(x int) {
+			ok[x] = false
+			if taken[x] {
+				return
+			}
+			cand := with(set, x)
+			if !co.Feasible(cand) {
+				return
+			}
+			vals[x] = probe.value(cand, x)
+			ok[x] = true
+		})
 		bestIdx := -1
 		bestRatio := 0.0
 		bestVal := cur
 		for x := 0; x < n; x++ {
-			if taken[x] {
+			if !ok[x] {
 				continue
 			}
-			cand := with(set, x)
-			if !f.Feasible(cand) {
-				continue
-			}
-			v := f.Value(cand)
-			delta := v - cur
+			delta := vals[x] - cur
 			if delta <= 0 {
 				continue
 			}
@@ -131,7 +154,7 @@ func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
 				ratio = math.Inf(1)
 			}
 			if bestIdx < 0 || ratio > bestRatio {
-				bestIdx, bestRatio, bestVal = x, ratio, v
+				bestIdx, bestRatio, bestVal = x, ratio, vals[x]
 			}
 		}
 		if bestIdx < 0 {
@@ -143,7 +166,7 @@ func BudgetedGreedy(f Oracle, n int, cost func(int) float64) Result {
 	}
 
 	// Best feasible singleton.
-	singleton, sVal := bestSingleton(f, n)
+	singleton, sVal := bestSingleton(co, n, ev)
 	if singleton != nil && sVal > cur {
 		set, cur = singleton, sVal
 	}

@@ -1,0 +1,98 @@
+package selection
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"freshsource/internal/obs"
+)
+
+// Options tunes how an algorithm runs; the zero value reproduces the
+// historical sequential behavior exactly.
+type Options struct {
+	// Workers is the number of goroutines each candidate sweep fans move
+	// evaluations across; 0 or 1 evaluates sequentially.
+	Workers int
+}
+
+// Option mutates Options.
+type Option func(*Options)
+
+// Parallel fans each round's candidate-move evaluations (adds, deletes,
+// swaps) across the given number of workers; workers <= 0 uses
+// GOMAXPROCS. The result is deterministic and identical to the sequential
+// path: every move's value lands at a fixed index and the argmax reduction
+// runs sequentially in the original scan order, so ties always resolve to
+// the lowest-index move and oracle-call counts are unchanged.
+//
+// Parallel sweeps require the oracle's Value/Feasible (and ValueAdd, when
+// implemented) to be safe for concurrent calls; Profit and CountingOracle
+// are.
+func Parallel(workers int) Option {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return func(o *Options) { o.Workers = workers }
+}
+
+func buildOptions(opts []Option) Options {
+	var o Options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// evaluator runs candidate sweeps for one algorithm run.
+type evaluator struct {
+	workers int
+}
+
+func newEvaluator(opts []Option) evaluator {
+	o := buildOptions(opts)
+	w := o.Workers
+	if w < 1 {
+		w = 1
+	}
+	return evaluator{workers: w}
+}
+
+// sweep evaluates eval(i) for every i in [0, m), fanning across the
+// evaluator's workers. eval must write its outcome to storage indexed by i
+// (never shared across indices), which makes the sweep's result independent
+// of evaluation order. With one worker the calls run inline in index order.
+func (e evaluator) sweep(m int, eval func(i int)) {
+	w := e.workers
+	if w > m {
+		w = m
+	}
+	if w <= 1 {
+		for i := 0; i < m; i++ {
+			eval(i)
+		}
+		return
+	}
+	if obs.Enabled() {
+		obs.Counter("selection.sweep.parallel_batches").Inc()
+		obs.Counter("selection.sweep.parallel_moves").Add(int64(m))
+	}
+	// Dynamic index dealing: workers pull the next move off a shared atomic
+	// counter, so expensive moves don't stall a fixed partition.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= m {
+					return
+				}
+				eval(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
