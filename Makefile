@@ -1,9 +1,17 @@
 GO ?= go
 
 # Packages whose concurrency matters enough to gate on the race detector.
-RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate
+RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate ./internal/serve
 
-.PHONY: build vet test race bench bench-smoke bench-paper verify
+# Coverage floor (percent) enforced by `make cover` over ./internal/...
+COVER_FLOOR = 70
+
+# Allowed fractional per-benchmark slowdown in `make bench-check`. Generous
+# on purpose: shared CI runners are noisy; this gate is for 2x-style
+# regressions, not 10% jitter.
+BENCH_TOLERANCE = 0.5
+
+.PHONY: build vet test race lint cover bench bench-smoke bench-check bench-paper verify
 
 build:
 	$(GO) build ./...
@@ -17,6 +25,29 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
+# Formatting + static analysis. gofmt failures print the offending files and
+# fail; staticcheck runs when installed (CI installs it; local dev without
+# it still gets gofmt + vet).
+lint:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: files need formatting:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Total test coverage over the library packages with a hard floor.
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
+		{ echo "cover: total coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
+
 # Selection hot-path benchmarks → BENCH_selection.json (ns/op per variant
 # plus speedups of each accelerated path over its sequential baseline).
 bench:
@@ -28,6 +59,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' -benchtime=1x \
 		./internal/selection ./internal/estimate
+
+# Bench-regression gate: run the tracked benchmarks fresh and diff against
+# the committed BENCH_selection.json; fails on any slowdown beyond
+# BENCH_TOLERANCE. Refresh the baseline with `make bench` after intended
+# performance changes.
+bench-check:
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' \
+		./internal/selection ./internal/estimate | \
+		$(GO) run ./cmd/benchjson -compare BENCH_selection.json -tolerance $(BENCH_TOLERANCE)
 
 # Scaled-down paper-experiment benches at the repo root.
 bench-paper:

@@ -4,9 +4,14 @@
 // Makefile's bench target pipes the selection benchmarks through it to
 // produce BENCH_selection.json.
 //
+// With -compare it additionally diffs the fresh run against a previously
+// committed report and exits non-zero when any shared benchmark slowed
+// down by more than -tolerance — CI's bench-regression gate.
+//
 // Usage:
 //
 //	go test -bench . ./internal/selection | benchjson -out BENCH_selection.json
+//	go test -bench . ./internal/selection | benchjson -compare BENCH_selection.json -tolerance 0.25
 package main
 
 import (
@@ -14,6 +19,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"strconv"
@@ -45,14 +51,22 @@ type Report struct {
 	Speedups   []Speedup         `json:"speedups"`
 }
 
+// Regression is one benchmark that slowed past the tolerance.
+type Regression struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+	Ratio float64 // NewNs / OldNs
+	Bound float64 // 1 + tolerance
+}
+
 var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
-func main() {
-	out := flag.String("out", "", "write JSON here instead of stdout")
-	flag.Parse()
-
+// parseBench scans `go test -bench` output into a report (context lines and
+// benchmark result lines; everything else is ignored).
+func parseBench(r io.Reader) (Report, error) {
 	rep := Report{Context: map[string]string{}}
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		line := sc.Text()
 		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
@@ -77,12 +91,13 @@ func main() {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
-	if err := sc.Err(); err != nil {
-		fatal(err)
-	}
+	return rep, sc.Err()
+}
 
-	// Family baselines: Family/seq (or Family/scratch for the estimator
-	// micro-benchmarks, which name the from-scratch path that way).
+// computeSpeedups fills rep.Speedups from the family baselines: Family/seq
+// (or Family/scratch for the estimator micro-benchmarks, which name the
+// from-scratch path that way).
+func computeSpeedups(rep *Report) {
 	base := map[string]float64{}
 	for _, b := range rep.Benchmarks {
 		fam, variant, ok := strings.Cut(b.Name, "/")
@@ -110,6 +125,72 @@ func main() {
 			Speedup: seq / b.NsPerOp,
 		})
 	}
+}
+
+// compareReports diffs the fresh run against a reference: every benchmark
+// present in both must satisfy new ≤ old·(1+tolerance). Benchmarks only in
+// the reference are returned as missing (reported, not fatal: renames and
+// removals shouldn't hard-fail CI); benchmarks only in the fresh run are
+// ignored.
+func compareReports(ref, fresh Report, tolerance float64) (regs []Regression, missing []string) {
+	freshNs := make(map[string]float64, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshNs[b.Name] = b.NsPerOp
+	}
+	bound := 1 + tolerance
+	for _, b := range ref.Benchmarks {
+		ns, ok := freshNs[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := ns / b.NsPerOp; ratio > bound {
+			regs = append(regs, Regression{
+				Name: b.Name, OldNs: b.NsPerOp, NewNs: ns, Ratio: ratio, Bound: bound,
+			})
+		}
+	}
+	return regs, missing
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	compare := flag.String("compare", "", "reference report to diff against; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown per benchmark in compare mode")
+	flag.Parse()
+
+	rep, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	computeSpeedups(&rep)
+
+	if *compare != "" {
+		raw, err := os.ReadFile(*compare)
+		if err != nil {
+			fatal(err)
+		}
+		var ref Report
+		if err := json.Unmarshal(raw, &ref); err != nil {
+			fatal(fmt.Errorf("parsing %s: %w", *compare, err))
+		}
+		regs, missing := compareReports(ref, rep, *tolerance)
+		for _, name := range missing {
+			fmt.Fprintf(os.Stderr, "benchjson: warning: %s in %s but absent from this run\n", name, *compare)
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.2fx > %.2fx allowed)\n",
+				r.Name, r.OldNs, r.NewNs, r.Ratio, r.Bound)
+		}
+		if len(regs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("benchjson: %d/%d benchmarks within %.0f%% of %s\n",
+			len(ref.Benchmarks)-len(missing), len(ref.Benchmarks), *tolerance*100, *compare)
+	}
 
 	enc, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -117,7 +198,9 @@ func main() {
 	}
 	enc = append(enc, '\n')
 	if *out == "" {
-		os.Stdout.Write(enc)
+		if *compare == "" {
+			os.Stdout.Write(enc)
+		}
 		return
 	}
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {

@@ -1,0 +1,122 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: freshsource/internal/selection
+cpu: Imaginary CPU @ 3.0GHz
+BenchmarkGreedy/seq-16         	     100	  1000000 ns/op
+BenchmarkGreedy/par4-16        	     400	   260000 ns/op	 1024 B/op	      12 allocs/op
+BenchmarkGRASP/seq-16          	      50	  2000000 ns/op
+BenchmarkGRASP/par4-16         	     200	   550000 ns/op
+BenchmarkQualityMultiAdd/scratch-16	 300	    90000 ns/op
+BenchmarkQualityMultiAdd/incremental-16	3000	     9000 ns/op
+PASS
+ok  	freshsource/internal/selection	12.345s
+`
+
+func parseSample(t *testing.T) Report {
+	t.Helper()
+	rep, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	computeSpeedups(&rep)
+	return rep
+}
+
+func TestParseBench(t *testing.T) {
+	rep := parseSample(t)
+	if len(rep.Benchmarks) != 6 {
+		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
+	}
+	if rep.Context["goos"] != "linux" || rep.Context["cpu"] != "Imaginary CPU @ 3.0GHz" {
+		t.Errorf("context: %v", rep.Context)
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "Greedy/par4" || b.Iterations != 400 || b.NsPerOp != 260000 {
+		t.Errorf("parsed line: %+v", b)
+	}
+	if b.BytesPerOp == nil || *b.BytesPerOp != 1024 || b.AllocsPerOp == nil || *b.AllocsPerOp != 12 {
+		t.Errorf("allocation columns: %+v", b)
+	}
+	if rep.Benchmarks[0].BytesPerOp != nil {
+		t.Error("seq line should have no allocation columns")
+	}
+}
+
+func TestComputeSpeedups(t *testing.T) {
+	rep := parseSample(t)
+	if len(rep.Speedups) != 3 {
+		t.Fatalf("computed %d speedups, want 3", len(rep.Speedups))
+	}
+	byFam := map[string]Speedup{}
+	for _, s := range rep.Speedups {
+		byFam[s.Family] = s
+	}
+	if s := byFam["Greedy"]; s.Variant != "par4" || s.Speedup < 3.8 || s.Speedup > 3.9 {
+		t.Errorf("Greedy speedup: %+v", s)
+	}
+	if s := byFam["QualityMultiAdd"]; s.SeqNs != 90000 || s.Speedup != 10 {
+		t.Errorf("scratch baseline speedup: %+v", s)
+	}
+}
+
+// TestCompareFailsTwoTimesRegression is the acceptance check for the CI
+// gate: a synthetic 2× slowdown must be flagged as a regression at the
+// default 25% tolerance.
+func TestCompareFailsTwoTimesRegression(t *testing.T) {
+	ref := parseSample(t)
+	slowed, err := parseBench(strings.NewReader(strings.ReplaceAll(
+		sampleOutput, "1000000 ns/op", "2000001 ns/op")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, missing := compareReports(ref, slowed, 0.25)
+	if len(missing) != 0 {
+		t.Errorf("missing: %v", missing)
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions: %+v, want exactly the 2x one", regs)
+	}
+	r := regs[0]
+	if r.Name != "Greedy/seq" || r.Ratio < 2 || r.Ratio > 2.1 || r.Bound != 1.25 {
+		t.Errorf("regression: %+v", r)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	ref := parseSample(t)
+	slightlySlower, err := parseBench(strings.NewReader(strings.ReplaceAll(
+		sampleOutput, "1000000 ns/op", "1200000 ns/op")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, _ := compareReports(ref, slightlySlower, 0.25); len(regs) != 0 {
+		t.Errorf("20%% slowdown flagged at 25%% tolerance: %+v", regs)
+	}
+	// Faster is never a regression.
+	if regs, _ := compareReports(ref, parseSample(t), 0); len(regs) != 0 {
+		t.Errorf("identical run flagged at zero tolerance: %+v", regs)
+	}
+}
+
+func TestCompareReportsMissing(t *testing.T) {
+	ref := parseSample(t)
+	partial, err := parseBench(strings.NewReader(
+		"BenchmarkGreedy/seq-16 100 1000000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs, missing := compareReports(ref, partial, 0.25)
+	if len(regs) != 0 {
+		t.Errorf("unexpected regressions: %+v", regs)
+	}
+	if len(missing) != 5 {
+		t.Errorf("missing = %v, want the 5 absent benchmarks", missing)
+	}
+}

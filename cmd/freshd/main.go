@@ -1,0 +1,85 @@
+// Command freshd is the long-running face of the library: it loads one
+// world/source snapshot at startup, fits the statistical models once, and
+// serves selection and quality queries over JSON with a warm model
+// registry, per-request timeouts, bounded concurrency and graceful drain.
+//
+// Usage:
+//
+//	freshd -kind bl -scale 0.5 -addr :8080
+//	freshd -load snapshots/bl-small -timeout 10s -max-inflight 8
+//
+// Endpoints: POST /v1/select, POST /v1/quality, GET /v1/sources,
+// GET /healthz, GET /metrics. A served selection is byte-identical to a
+// freshselect run over the same snapshot and options.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"freshsource/internal/obs"
+	"freshsource/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		load      = flag.String("load", "", "load a persisted dataset directory instead of generating")
+		kind      = flag.String("kind", "bl", "dataset kind when generating: bl or gdelt")
+		scale     = flag.Float64("scale", 0.5, "dataset scale when generating")
+		seed      = flag.Int64("seed", 1, "dataset seed when generating")
+		inflight  = flag.Int("max-inflight", 0, "max concurrent select/quality requests (0 = 2×GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline; an expired solve is canceled and answered 504")
+		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain bound for in-flight requests")
+		future    = flag.Int("future", 10, "default number of future time points of interest")
+		cacheSize = flag.Int("cache-entries", 0, "max entries per registry cache (0 = 4096)")
+		pprofAddr = flag.String("pprof", "", "also serve pprof/expvar on this address (e.g. localhost:6060)")
+	)
+	flag.Parse()
+
+	if *pprofAddr != "" {
+		bound, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "freshd: pprof/expvar on http://%s/debug/pprof/\n", bound)
+	}
+
+	d, err := serve.LoadDataset(*load, *kind, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "freshd: dataset %s: %d sources, %d entities, t0=%d\n",
+		d.Name, len(d.Sources), d.World.NumEntities(), d.T0)
+
+	srv, err := serve.New(d, serve.Config{
+		Addr:            *addr,
+		MaxInflight:     *inflight,
+		RequestTimeout:  *timeout,
+		ShutdownGrace:   *grace,
+		DefaultFuture:   *future,
+		MaxCacheEntries: *cacheSize,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "freshd: serving on %s\n", *addr)
+	if err := srv.ListenAndServe(ctx); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "freshd: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freshd:", err)
+	os.Exit(1)
+}

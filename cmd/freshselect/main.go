@@ -20,11 +20,8 @@ import (
 	"strings"
 
 	"freshsource/internal/core"
-	"freshsource/internal/dataset"
-	"freshsource/internal/gain"
 	"freshsource/internal/obs"
-	"freshsource/internal/snapio"
-	"freshsource/internal/timeline"
+	"freshsource/internal/serve"
 )
 
 func main() {
@@ -54,13 +51,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "freshselect: pprof/expvar on http://%s/debug/pprof/\n", addr)
 	}
 
-	var d *dataset.Dataset
-	var err error
-	if *load != "" {
-		d, err = snapio.Read(*load)
-	} else {
-		d, err = makeDataset(*kind, *scale, *seed)
-	}
+	d, err := serve.LoadDataset(*load, *kind, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
@@ -77,7 +68,7 @@ func main() {
 		}
 	}
 
-	ticks := spread(d.T0, d.Horizon(), *future)
+	ticks := serve.SpreadTicks(d.T0, d.Horizon(), *future)
 	tr, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{
 		MaxT:         ticks[len(ticks)-1],
 		FreqDivisors: divs,
@@ -87,7 +78,7 @@ func main() {
 	}
 	fmt.Printf("trained: %d candidates\n", tr.NumCandidates())
 
-	g, err := makeGain(*gainName, *metric, d)
+	g, err := serve.MakeGain(*gainName, *metric, d.World.NumEntities())
 	if err != nil {
 		fatal(err)
 	}
@@ -117,60 +108,6 @@ func main() {
 	if err := obsF.Finish(os.Stdout); err != nil {
 		fatal(err)
 	}
-}
-
-func makeDataset(kind string, scale float64, seed int64) (*dataset.Dataset, error) {
-	switch kind {
-	case "bl":
-		cfg := dataset.DefaultBLConfig()
-		cfg.Scale = scale
-		cfg.Seed = seed
-		return dataset.GenerateBL(cfg)
-	case "gdelt":
-		cfg := dataset.DefaultGDELTConfig()
-		cfg.Scale = scale
-		cfg.Seed = seed
-		return dataset.GenerateGDELT(cfg)
-	default:
-		return nil, fmt.Errorf("unknown dataset kind %q", kind)
-	}
-}
-
-func makeGain(name, metric string, d *dataset.Dataset) (gain.Function, error) {
-	var m gain.Metric
-	switch metric {
-	case "coverage":
-		m = gain.Coverage
-	case "local-freshness":
-		m = gain.LocalFreshness
-	case "global-freshness":
-		m = gain.GlobalFreshness
-	case "accuracy":
-		m = gain.Accuracy
-	default:
-		return nil, fmt.Errorf("unknown metric %q", metric)
-	}
-	switch name {
-	case "linear":
-		return gain.Linear{Metric: m}, nil
-	case "quad":
-		return gain.Quad{Metric: m}, nil
-	case "step":
-		return gain.Step{Metric: m}, nil
-	case "data":
-		return gain.Data{PerItem: 10, OmegaMax: float64(d.World.NumEntities())}, nil
-	default:
-		return nil, fmt.Errorf("unknown gain %q", name)
-	}
-}
-
-func spread(t0, horizon timeline.Tick, n int) []timeline.Tick {
-	span := horizon - 1 - t0
-	out := make([]timeline.Tick, 0, n)
-	for i := 1; i <= n; i++ {
-		out = append(out, t0+span*timeline.Tick(i)/timeline.Tick(n))
-	}
-	return out
 }
 
 func fatal(err error) {

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"freshsource/internal/gain"
+)
+
+// TestSolveContextCanceled pins the timeout contract of the serving path: a
+// pre-canceled context makes SolveContext return ErrCanceled (for every
+// algorithm), and a live context returns the exact same selection as the
+// context-free Solve.
+func TestSolveContextCanceled(t *testing.T) {
+	d := getDataset(t)
+	tr, err := Train(d.World, d.Sources, d.T0, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob, err := NewProblem(tr, futureTicks(d), gain.Linear{Metric: gain.Coverage}, ProblemOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, alg := range []Algorithm{Greedy, MaxSub, GRASP, LazyGreedy, Budgeted} {
+		if _, err := prob.SolveContext(canceled, alg, SolveOptions{Rounds: 2}); !errors.Is(err, ErrCanceled) {
+			t.Errorf("%s: err = %v, want ErrCanceled", alg, err)
+		}
+	}
+
+	want, err := prob.Solve(Greedy, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := prob.SolveContext(context.WithoutCancel(context.Background()), Greedy, SolveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Set) != len(want.Set) || got.Profit != want.Profit {
+		t.Errorf("live-context solve diverged: %v (%v) vs %v (%v)", got.Set, got.Profit, want.Set, want.Profit)
+	}
+}
+
+// TestTrainContextCanceled pins that a fired context aborts the fit.
+func TestTrainContextCanceled(t *testing.T) {
+	d := getDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TrainContext(ctx, d.World, d.Sources, d.T0, TrainOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("TrainContext err = %v, want context.Canceled", err)
+	}
+}

@@ -19,6 +19,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -63,13 +64,25 @@ type Trained struct {
 	t0 timeline.Tick
 }
 
+// ErrCanceled reports a Solve stopped by its context before completion; it
+// aliases the selection package's sentinel so errors.Is works against
+// either. The run's partial state is discarded — callers get the error, not
+// a half-finished selection.
+var ErrCanceled = selection.ErrCanceled
+
 // Train fits the statistical models and profiles on the window [0, t0].
 func Train(w *world.World, srcs []*source.Source, t0 timeline.Tick, opt TrainOptions) (*Trained, error) {
+	return TrainContext(context.Background(), w, srcs, t0, opt)
+}
+
+// TrainContext is Train with cancellation: a fired context aborts the model
+// and profile fits and surfaces ctx.Err().
+func TrainContext(ctx context.Context, w *world.World, srcs []*source.Source, t0 timeline.Tick, opt TrainOptions) (*Trained, error) {
 	maxT := opt.MaxT
 	if maxT == 0 {
 		maxT = w.Horizon() - 1
 	}
-	est, err := estimate.New(w, srcs, t0, maxT, opt.Points)
+	est, err := estimate.NewContext(ctx, w, srcs, t0, maxT, opt.Points)
 	if err != nil {
 		return nil, err
 	}
@@ -253,6 +266,14 @@ func (o matroidOracle) Feasible(set []int) bool {
 
 // Solve runs the chosen algorithm on the problem.
 func (p *Problem) Solve(alg Algorithm, opt SolveOptions) (*Selection, error) {
+	return p.SolveContext(context.Background(), alg, opt)
+}
+
+// SolveContext runs the chosen algorithm under a context: when ctx fires
+// mid-run the algorithm abandons the sweep in flight (discarding its
+// partial argmax) and SolveContext returns ErrCanceled. This is the serving
+// path's per-request timeout hook.
+func (p *Problem) SolveContext(ctx context.Context, alg Algorithm, opt SolveOptions) (*Selection, error) {
 	opt = opt.withDefaults()
 	n := p.Trained.NumCandidates()
 
@@ -266,6 +287,9 @@ func (p *Problem) Solve(alg Algorithm, opt SolveOptions) (*Selection, error) {
 	var sopts []selection.Option
 	if opt.Workers != 0 {
 		sopts = append(sopts, selection.Parallel(opt.Workers))
+	}
+	if ctx != nil && ctx != context.Background() {
+		sopts = append(sopts, selection.Context(ctx))
 	}
 
 	var res selection.Result
@@ -292,6 +316,9 @@ func (p *Problem) Solve(alg Algorithm, opt SolveOptions) (*Selection, error) {
 		}, sopts...)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", alg)
+	}
+	if res.Err != nil {
+		return nil, fmt.Errorf("core: %s: %w", alg, res.Err)
 	}
 
 	sel := &Selection{

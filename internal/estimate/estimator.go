@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -97,6 +98,14 @@ type Estimator struct {
 // all on the training window [0, t0]. maxT bounds the future ticks that may
 // be queried.
 func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []world.DomainPoint) (*Estimator, error) {
+	return NewContext(context.Background(), w, srcs, t0, maxT, pts)
+}
+
+// NewContext is New with cancellation: a fired context stops launching
+// model and profile fits and returns ctx.Err() once the in-flight fits
+// drain. Long-running servers use it to bound on-demand refits by the
+// requesting call's deadline.
+func NewContext(ctx context.Context, w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []world.DomainPoint) (*Estimator, error) {
 	if len(srcs) == 0 {
 		return nil, errors.New("estimate: no sources")
 	}
@@ -124,6 +133,9 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 		for j, p := range pts {
+			if ctx.Err() != nil {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(j int, p world.DomainPoint) {
@@ -161,6 +173,9 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 			}(j, p)
 		}
 		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("estimate: model fit canceled: %w", err)
+		}
 		for _, err := range errs {
 			if err != nil {
 				return nil, err
@@ -178,6 +193,9 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, s := range srcs {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int, s *source.Source) {
@@ -203,6 +221,9 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 		}(i, s)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("estimate: profile fit canceled: %w", err)
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

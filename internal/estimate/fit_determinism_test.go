@@ -1,0 +1,53 @@
+package estimate
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFitRunToRunDeterminism(t *testing.T) {
+	w := testWorld(t)
+	e1 := buildEstimator(t, w)
+	e2 := buildEstimator(t, w)
+
+	for j := range e1.points {
+		if !reflect.DeepEqual(e1.models[j], e2.models[j]) {
+			t.Errorf("point %d: world models differ: %+v vs %+v", j, e1.models[j], e2.models[j])
+		}
+		for name, pair := range map[string][2][]float64{
+			"survDel": {e1.survDel[j], e2.survDel[j]},
+			"survUpd": {e1.survUpd[j], e2.survUpd[j]},
+			"lamIns":  {e1.lamIns[j], e2.lamIns[j]},
+			"lamDel":  {e1.lamDel[j], e2.lamDel[j]},
+			"lamUpd":  {e1.lamUpd[j], e2.lamUpd[j]},
+		} {
+			for d := range pair[0] {
+				if pair[0][d] != pair[1][d] {
+					t.Errorf("point %d %s[%d]: %.17g vs %.17g", j, name, d, pair[0][d], pair[1][d])
+					break
+				}
+			}
+		}
+	}
+	for i := range e1.cands {
+		c1, c2 := e1.cands[i], e2.cands[i]
+		if c1.Profile.UpdateInterval != c2.Profile.UpdateInterval || c1.Profile.CoverageT0 != c2.Profile.CoverageT0 {
+			t.Errorf("cand %d: profile scalars differ", i)
+		}
+		for d := range c1.gi {
+			if c1.gi[d] != c2.gi[d] || c1.gd[d] != c2.gd[d] || c1.gu[d] != c2.gu[d] {
+				t.Errorf("cand %d delay %d: effectiveness tables differ", i, d)
+				break
+			}
+		}
+	}
+	q1 := e1.Quality([]int{0, 2}, e1.T0+20)
+	q2 := e2.Quality([]int{0, 2}, e2.T0+20)
+	if q1 != q2 {
+		t.Errorf("quality differs: %+v vs %+v", q1, q2)
+	}
+	q3 := e1.Quality([]int{0, 2}, e1.T0+20)
+	if q1 != q3 {
+		t.Errorf("same estimator, repeated quality differs: %+v vs %+v", q1, q3)
+	}
+}

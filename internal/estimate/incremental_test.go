@@ -100,6 +100,47 @@ func TestSetStateConcurrentProbes(t *testing.T) {
 	wg.Wait()
 }
 
+// TestQualityMultiStateBitIdentical: the warm-state evaluation path (cached
+// t0 counts + per-tick miss products) must reproduce the from-scratch
+// QualityMulti bit for bit, including on the empty set, and stay identical
+// when the same state is re-queried (the serving registry's warm path).
+func TestQualityMultiStateBitIdentical(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	ticks := []timeline.Tick{310, 350, 400, 440}
+	r := rand.New(rand.NewSource(11))
+
+	n := e.NumCandidates()
+	sets := [][]int{nil, {0}}
+	for trial := 0; trial < 20; trial++ {
+		var set []int
+		for i := 0; i < n; i++ {
+			if r.Intn(2) == 0 {
+				set = append(set, i)
+			}
+		}
+		sets = append(sets, set)
+	}
+	for _, set := range sets {
+		st := e.NewSetState(set)
+		ref := e.QualityMulti(set, ticks)
+		for rep := 0; rep < 2; rep++ { // second pass hits the warm miss cache
+			got := e.QualityMultiState(st, ticks)
+			for k := range ticks {
+				if got[k] != ref[k] {
+					t.Fatalf("set=%v rep=%d tick %d:\nstate %+v\nfrom-scratch %+v",
+						set, rep, ticks[k], got[k], ref[k])
+				}
+			}
+		}
+		// Overlapping tick vectors reuse the cached products per tick.
+		sub := e.QualityMultiState(st, ticks[1:3])
+		if sub[0] != ref[1] || sub[1] != ref[2] {
+			t.Fatalf("set=%v: overlapping Tf mismatch", set)
+		}
+	}
+}
+
 // TestSetStateCachesMatchFromScratch: the state's cached t0 counts equal a
 // from-scratch QualityMulti evaluation at t0 boundary behavior — i.e. the
 // state-built covering lists drive identical estimates.

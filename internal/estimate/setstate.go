@@ -160,6 +160,35 @@ func (e *Estimator) NewSetState(set []int) *SetState {
 	return st
 }
 
+// QualityMultiState estimates the quality of st's own set at the given
+// ticks from the cached state: the t0 counts and covering lists are reused
+// and each tick's miss products come from the state's lazily-built cache,
+// so re-evaluating one set across repeated or overlapping Tf vectors skips
+// the per-candidate effectiveness folds after their first use. The result
+// is bit-identical to QualityMulti(st.Set(), ts) — the cached products are
+// the same floats folded in the same covering order. This is the warm path
+// of a serving registry keeping SetStates keyed by (set, Tf).
+func (e *Estimator) QualityMultiState(st *SetState, ts []timeline.Tick) []QualityEstimate {
+	sp := obs.Start("estimate.quality_state.seconds")
+	e.checkTicks(ts)
+
+	scratch := e.getScratch()
+	out := make([]QualityEstimate, len(ts))
+	for k, t := range ts {
+		out[k] = e.qualityAt(t, st.covT0, st.upT0, st.sizeT0, st.covering, st.missAt(t), nil, scratch)
+	}
+
+	sp.End()
+	if obs.Enabled() {
+		obs.Counter("estimate.quality.state_calls").Add(1)
+		obs.Counter("estimate.quality.ticks").Add(int64(len(ts)))
+		obs.Counter("estimate.recurrence.steps").Add(scratch.steps)
+		obs.Counter("estimate.recurrence.cand_terms").Add(scratch.candTerms)
+	}
+	e.putScratch(scratch)
+	return out
+}
+
 // QualityMultiAdd estimates the quality of st's set ∪ {x} at the given
 // ticks without rebuilding the set's unions: candidate x's t0 contribution
 // per query point is a fused triple-popcount count(x ∧ mask ∧ ¬union) over

@@ -225,9 +225,18 @@ func NewSharedItemCost(e *estimate.Estimator, perItem float64) (*CostModel, erro
 		cm.perCandidate[i] = baseCost[c.SourceIndex] / (1 + m/10)
 	}
 	// The rescaling denominator: the cost of acquiring every source once at
-	// full frequency.
-	for _, bc := range baseCost {
-		cm.total += bc / 1.1
+	// full frequency. Accumulate in candidate order, not map order — the
+	// sum must be bit-identical on every run.
+	for done := range seen {
+		delete(seen, done)
+	}
+	for i := 0; i < n; i++ {
+		c := e.Candidate(i)
+		if seen[c.SourceIndex] {
+			continue
+		}
+		seen[c.SourceIndex] = true
+		cm.total += baseCost[c.SourceIndex] / 1.1
 	}
 	if cm.total <= 0 {
 		cm.total = 1

@@ -1,0 +1,118 @@
+package histint
+
+import (
+	"testing"
+
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// logSource builds a source with a hand-written capture log — the shape an
+// external exporter produces, where the integrator cannot assume every
+// mention sequence starts with an insertion.
+func logSource(t *testing.T, w *world.World, id source.ID, events []timeline.Event) *source.Source {
+	t.Helper()
+	s, err := source.FromLog(id, source.Spec{
+		Name:           "log",
+		UpdateInterval: 1,
+		Points:         w.Points(),
+		Insert:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+		Delete:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+		Update:         source.CaptureSpec{Prob: 1, Delay: source.ConstantDelay{D: 0}},
+	}, w.Horizon(), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestToWorldDropsLoneDeletionCluster exercises the cluster-with-no-Appear
+// path: a source whose only mention of an entity is a deletion creates a
+// cluster that never appears, which ToWorld must drop (idOf = -1) and
+// RekeySource must skip.
+func TestToWorldDropsLoneDeletionCluster(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	s := logSource(t, w, 0, []timeline.Event{
+		{Entity: 0, Kind: timeline.Appear, At: 5},
+		{Entity: 1, Kind: timeline.Disappear, At: 6},
+	})
+	res := Integrate(ren, []*source.Source{s})
+	if res.NumClusters() != 2 {
+		t.Fatalf("clusters = %d, want 2", res.NumClusters())
+	}
+
+	rw, idOf, err := res.ToWorld(w.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.NumEntities() != 1 {
+		t.Errorf("reconstructed world has %d entities, want 1 (lone deletion dropped)", rw.NumEntities())
+	}
+	loneKey := CanonicalKey(ren.Render(0, 1, 0), KeyAttrs)
+	cl, ok := res.Cluster(loneKey)
+	if !ok {
+		t.Fatal("lone-deletion cluster missing from result")
+	}
+	if idOf[int(cl)] != -1 {
+		t.Errorf("idOf[lone cluster] = %d, want -1", idOf[int(cl)])
+	}
+
+	// Rekeying the same source drops the lone-deletion event...
+	rs, err := RekeySource(ren, res, idOf, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Log().Len() != 1 {
+		t.Errorf("rekeyed log has %d events, want 1", rs.Log().Len())
+	}
+	// ...and a source mentioning an entity the integration never saw loses
+	// those events too (no cluster to map them into).
+	foreign := logSource(t, w, 1, []timeline.Event{
+		{Entity: 2, Kind: timeline.Appear, At: 7},
+	})
+	rf, err := RekeySource(ren, res, idOf, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Log().Len() != 0 {
+		t.Errorf("foreign rekeyed log has %d events, want 0", rf.Log().Len())
+	}
+}
+
+// TestToWorldRejectsBadHorizon propagates world construction errors: a
+// horizon at or before the reconstructed appearances is invalid.
+func TestToWorldRejectsBadHorizon(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	s := logSource(t, w, 0, []timeline.Event{
+		{Entity: 0, Kind: timeline.Appear, At: 5},
+	})
+	res := Integrate(ren, []*source.Source{s})
+	if _, _, err := res.ToWorld(0); err == nil {
+		t.Error("want error for non-positive horizon")
+	}
+	if _, _, err := res.ToWorld(3); err == nil {
+		t.Error("want error for horizon before the reconstructed appearance")
+	}
+}
+
+// TestValidateSkipsUnmentionedClusters: clusters built from sources outside
+// the validation set have no gold-standard entity to match and must be
+// skipped, not counted as matches.
+func TestValidateSkipsUnmentionedClusters(t *testing.T) {
+	w := testWorld(t)
+	ren := NewRenderer(w)
+	s0 := logSource(t, w, 0, []timeline.Event{{Entity: 0, Kind: timeline.Appear, At: 5}})
+	s1 := logSource(t, w, 1, []timeline.Event{{Entity: 1, Kind: timeline.Appear, At: 6}})
+	res := Integrate(ren, []*source.Source{s0, s1})
+
+	v := Validate(ren, w, []*source.Source{s0}, res)
+	if v.TrueEntities != 1 || v.Clusters != 2 {
+		t.Fatalf("validation = %+v, want 1 recoverable entity and 2 clusters", v)
+	}
+	if v.Matched != 1 {
+		t.Errorf("matched = %d, want 1 (the cluster from the absent source must be skipped)", v.Matched)
+	}
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Instrument wraps an HTTP handler with the standard serving telemetry:
+//
+//	http.<route>.requests      counter, one per completed request
+//	http.<route>.errors        counter, responses with status >= 500
+//	http.<route>.seconds       latency histogram (p50/p95/p99 in snapshots)
+//	http.inflight              gauge, requests currently being served
+//	http.requests              counter, all routes combined
+//
+// route is a short dotted label ("v1.select", "healthz"), not the URL
+// pattern. Like every obs site, the wrapper is free when telemetry is
+// disabled: the handles are nil and all mutations no-op.
+func Instrument(route string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !Enabled() {
+			next.ServeHTTP(w, r)
+			return
+		}
+		inflight := Gauge("http.inflight")
+		inflight.Add(1)
+		defer inflight.Add(-1)
+		sp := Start("http." + route + ".seconds")
+
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+
+		sp.End()
+		Counter("http." + route + ".requests").Inc()
+		Counter("http.requests").Inc()
+		if sw.status >= 500 {
+			Counter("http." + route + ".errors").Inc()
+		}
+	})
+}
+
+// statusWriter captures the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

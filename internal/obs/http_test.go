@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestInstrument(t *testing.T) {
+	Disable()
+	defer Disable()
+
+	h := Instrument("test", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/boom" {
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+
+	// Disabled: the wrapper must pass through without touching a registry.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != http.StatusOK || rec.Body.String() != "ok" {
+		t.Fatalf("disabled pass-through: code %d body %q", rec.Code, rec.Body.String())
+	}
+
+	reg := Enable()
+	for _, path := range []string{"/", "/", "/boom"} {
+		h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest("GET", path, nil))
+	}
+
+	if got := reg.Counter("http.test.requests").Value(); got != 3 {
+		t.Errorf("requests = %d, want 3", got)
+	}
+	if got := reg.Counter("http.requests").Value(); got != 3 {
+		t.Errorf("global requests = %d, want 3", got)
+	}
+	if got := reg.Counter("http.test.errors").Value(); got != 1 {
+		t.Errorf("errors = %d, want 1", got)
+	}
+	if got := reg.Histogram("http.test.seconds").Count(); got != 3 {
+		t.Errorf("latency observations = %d, want 3", got)
+	}
+	if got := reg.Gauge("http.inflight").Value(); got != 0 {
+		t.Errorf("inflight after drain = %v, want 0", got)
+	}
+}

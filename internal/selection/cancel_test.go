@@ -1,0 +1,152 @@
+package selection
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"freshsource/internal/matroid"
+	"freshsource/internal/stats"
+)
+
+// cancelAfter cancels the bound context on its limit-th Value evaluation,
+// simulating a deadline firing mid-run. Safe for concurrent sweeps.
+type cancelAfter struct {
+	inner  Oracle
+	cancel context.CancelFunc
+	limit  int64
+	calls  atomic.Int64
+}
+
+func (o *cancelAfter) Value(set []int) float64 {
+	if o.calls.Add(1) == o.limit {
+		o.cancel()
+	}
+	return o.inner.Value(set)
+}
+
+func (o *cancelAfter) Feasible(set []int) bool { return o.inner.Feasible(set) }
+
+// runAllCtx mirrors runAll with a context option attached.
+func runAllCtx(f Oracle, n int, ctx context.Context, extra ...Option) []Result {
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i / 2
+	}
+	pm, err := matroid.OnePerClass(classOf)
+	if err != nil {
+		panic(err)
+	}
+	opts := append([]Option{Context(ctx)}, extra...)
+	return []Result{
+		Greedy(f, n, opts...),
+		MaxSub(f, n, 0.05, opts...),
+		MatroidMax(f, n, []matroid.Matroid{pm}, 0.05, opts...),
+		GRASP(f, n, 3, 5, stats.NewRNG(42), opts...),
+		LazyGreedy(f, n, opts...),
+		BudgetedGreedy(f, n, func(i int) float64 { return float64(i%4) + 1 }, opts...),
+	}
+}
+
+// TestContextNoopWhenUncanceled pins that attaching a live context changes
+// nothing: same sets, bit-identical values, identical oracle-call counts.
+func TestContextNoopWhenUncanceled(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		o := randomWC(24, seed)
+		plain := runAll(o, 24)
+		withCtx := runAllCtx(o, 24, context.Background())
+		requireIdentical(t, "live-context", plain, withCtx)
+		for i, r := range withCtx {
+			if r.Err != nil {
+				t.Errorf("%s: unexpected Err %v under a live context", algNames[i], r.Err)
+			}
+		}
+	}
+}
+
+// TestPreCanceledContext pins the fast-exit path: a context canceled before
+// the run starts yields ErrCanceled with at most the empty-set evaluation.
+func TestPreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := randomWC(24, 1)
+	for i, r := range runAllCtx(o, 24, ctx) {
+		if !errors.Is(r.Err, ErrCanceled) {
+			t.Errorf("%s: Err = %v, want ErrCanceled", algNames[i], r.Err)
+		}
+		if len(r.Set) != 0 {
+			t.Errorf("%s: pre-canceled run selected %v", algNames[i], r.Set)
+		}
+	}
+}
+
+// TestCancelMidRunConsistency is the no-partial-argmax invariant: however a
+// cancellation lands relative to a sweep, the returned Set and Value form a
+// consistent pair — Value is the oracle's exact value of Set — and the run
+// reports ErrCanceled unless it finished first.
+func TestCancelMidRunConsistency(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, limit := range []int64{1, 2, 5, 17, 60, 250} {
+			plain := randomWC(24, seed)
+			for alg := 0; alg < 6; alg++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				o := &cancelAfter{inner: plain, cancel: cancel, limit: limit}
+				res := runAlgCtx(alg, o, 24, ctx)
+				cancel()
+				if res.Err != nil && !errors.Is(res.Err, ErrCanceled) {
+					t.Fatalf("%s limit=%d: Err = %v", algNames[alg], limit, res.Err)
+				}
+				if got, want := res.Value, plain.Value(res.Set); got != want {
+					t.Errorf("%s limit=%d: Value %v inconsistent with f(Set)=%v (set %v, err %v)",
+						algNames[alg], limit, got, want, res.Set, res.Err)
+				}
+			}
+		}
+	}
+}
+
+// TestCancelMidRunParallel exercises cancellation against the parallel sweep
+// engine (workers observe the context between move pulls) under the race
+// detector.
+func TestCancelMidRunParallel(t *testing.T) {
+	plain := randomWC(32, 7)
+	for _, limit := range []int64{3, 40, 400} {
+		ctx, cancel := context.WithCancel(context.Background())
+		o := &cancelAfter{inner: plain, cancel: cancel, limit: limit}
+		res := GRASP(o, 32, 3, 8, stats.NewRNG(7), Context(ctx), Parallel(8))
+		cancel()
+		if got, want := res.Value, plain.Value(res.Set); got != want {
+			t.Errorf("limit=%d: Value %v inconsistent with f(Set)=%v", limit, got, want)
+		}
+	}
+}
+
+// runAlgCtx runs the alg-th algorithm of the runAll order individually so
+// each gets a fresh cancel oracle.
+func runAlgCtx(alg int, f Oracle, n int, ctx context.Context) Result {
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i / 2
+	}
+	pm, err := matroid.OnePerClass(classOf)
+	if err != nil {
+		panic(err)
+	}
+	opt := Context(ctx)
+	switch alg {
+	case 0:
+		return Greedy(f, n, opt)
+	case 1:
+		return MaxSub(f, n, 0.05, opt)
+	case 2:
+		return MatroidMax(f, n, []matroid.Matroid{pm}, 0.05, opt)
+	case 3:
+		return GRASP(f, n, 3, 5, stats.NewRNG(42), opt)
+	case 4:
+		return LazyGreedy(f, n, opt)
+	case 5:
+		return BudgetedGreedy(f, n, func(i int) float64 { return float64(i%4) + 1 }, opt)
+	}
+	panic("bad alg")
+}

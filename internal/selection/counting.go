@@ -137,3 +137,12 @@ func (rt runTrace) finish(set []int, value float64) Result {
 		Duration:    time.Since(rt.start),
 	}
 }
+
+// finishErr closes a run that stopped early, recording err (ErrCanceled)
+// alongside the last fully-completed state.
+func (rt runTrace) finishErr(set []int, value float64, err error) Result {
+	obs.Counter("selection.canceled").Inc()
+	r := rt.finish(set, value)
+	r.Err = err
+	return r
+}

@@ -68,6 +68,9 @@ func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 		vals[x] = probe.value(cand, x)
 		ok[x] = true
 	})
+	if ev.canceled() {
+		return rt.finishErr(set, cur, ErrCanceled)
+	}
 	h := make(marginalHeap, 0, n)
 	for x := 0; x < n; x++ {
 		if ok[x] {
@@ -78,6 +81,9 @@ func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 
 	round := 0
 	for h.Len() > 0 {
+		if ev.canceled() {
+			return rt.finishErr(set, co.Value(set), ErrCanceled)
+		}
 		top := h[0]
 		if top.gain <= 1e-12 {
 			break // even the most optimistic bound does not improve
@@ -135,6 +141,9 @@ func BudgetedGreedy(f Oracle, n int, cost func(int) float64, opts ...Option) Res
 			vals[x] = probe.value(cand, x)
 			ok[x] = true
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestIdx := -1
 		bestRatio := 0.0
 		bestVal := cur
@@ -167,6 +176,9 @@ func BudgetedGreedy(f Oracle, n int, cost func(int) float64, opts ...Option) Res
 
 	// Best feasible singleton.
 	singleton, sVal := bestSingleton(co, n, ev)
+	if ev.canceled() {
+		return rt.finishErr(set, cur, ErrCanceled)
+	}
 	if singleton != nil && sVal > cur {
 		set, cur = singleton, sVal
 	}

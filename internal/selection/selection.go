@@ -31,6 +31,7 @@
 package selection
 
 import (
+	"errors"
 	"math"
 	"time"
 
@@ -39,6 +40,12 @@ import (
 	"freshsource/internal/obs"
 	"freshsource/internal/stats"
 )
+
+// ErrCanceled is the Result.Err of a run stopped by its Context option
+// before reaching a local optimum. The returned Set and Value still form a
+// consistent pair — Value is the oracle's exact value of Set as of the last
+// fully-completed move — but the set is not a finished selection.
+var ErrCanceled = errors.New("selection: run canceled")
 
 // Oracle is the profit value oracle f and the feasibility predicate (the
 // budget constraint of Definitions 3–5). Implementations must be safe for
@@ -64,6 +71,11 @@ type Result struct {
 	OracleCalls int
 	// Duration is the wall-clock time of the run.
 	Duration time.Duration
+	// Err is non-nil when the run did not complete: ErrCanceled when the
+	// Context option's context fired. Set and Value then hold the last
+	// fully-completed state (possibly the empty set) — never the partial
+	// reduction of an interrupted sweep.
+	Err error
 }
 
 // without returns set \ {xs...}.
@@ -169,6 +181,9 @@ func Greedy(f Oracle, n int, opts ...Option) Result {
 			vals[x] = probe.value(cand, x)
 			ok[x] = true
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestIdx, bestVal := -1, cur
 		for x := 0; x < n; x++ {
 			if ok[x] && vals[x] > bestVal {
@@ -211,6 +226,9 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 
 	// Ln. 3: best feasible singleton.
 	set, cur := bestSingleton(co, n, ev)
+	if ev.canceled() {
+		return rt.finishErr(nil, co.Value(nil), ErrCanceled)
+	}
 	if set == nil {
 		return rt.finish(nil, co.Value(nil))
 	}
@@ -236,6 +254,9 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 			vals[x] = probe.value(cand, x)
 			ok[x] = true
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestIdx, bestVal := -1, cur
 		for x := 0; x < n; x++ {
 			if ok[x] && improves(vals[x], cur, eps, denom) && vals[x] > bestVal {
@@ -256,6 +277,9 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 			cands[i] = cand
 			vals[i] = co.Value(cand)
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestI := -1
 		bestVal = cur
 		for i := 0; i < m; i++ {
@@ -361,6 +385,9 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		vals[i] = probe.value(cand, ground[i])
 		ok[i] = true
 	})
+	if ev.canceled() {
+		return rt.finishErr(nil, co.Value(nil), ErrCanceled)
+	}
 	var set []int
 	cur := math.Inf(-1)
 	for i := 0; i < g; i++ {
@@ -383,6 +410,9 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 			cands[i] = cand
 			vals[i] = co.Value(cand)
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestI, bestVal := -1, cur
 		for i := 0; i < m; i++ {
 			if improves(vals[i], cur, eps, denom) && vals[i] > bestVal {
@@ -428,6 +458,9 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 			vals[i] = co.Value(cand)
 			ok[i] = true
 		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
 		bestI, bestVal = -1, cur
 		for i := 0; i < g; i++ {
 			if ok[i] && improves(vals[i], cur, eps, denom) && vals[i] > bestVal {
@@ -468,6 +501,12 @@ func MatroidMax(f Oracle, n int, ms []matroid.Matroid, eps float64, opts ...Opti
 		if r.Value > best.Value {
 			best = r
 		}
+		if r.Err != nil {
+			if math.IsInf(best.Value, -1) {
+				best = Result{Value: co.Value(nil)}
+			}
+			return rt.finishErr(best.Set, best.Value, r.Err)
+		}
 		ground = without(ground, r.Set...)
 	}
 	if math.IsInf(best.Value, -1) {
@@ -494,10 +533,17 @@ func GRASP(f Oracle, n int, kappa, r int, rng *stats.RNG, opts ...Option) Result
 	for it := 0; it < r; it++ {
 		restarts.Inc()
 		set, cur := graspConstruct(co, n, kappa, rng, ev)
-		set, cur = hillClimb(co, n, set, cur, ev)
+		if !ev.canceled() {
+			set, cur = hillClimb(co, n, set, cur, ev)
+		}
+		// A canceled round still yields a consistent (set, exact value)
+		// pair — its last completed move — so it may enter the best.
 		if cur > best.Value {
 			best.Set = append([]int(nil), set...)
 			best.Value = cur
+		}
+		if ev.canceled() {
+			return rt.finishErr(best.Set, best.Value, ErrCanceled)
 		}
 	}
 	if math.IsInf(best.Value, -1) {
@@ -531,6 +577,9 @@ func graspConstruct(co *CountingOracle, n, kappa int, rng *stats.RNG, ev evaluat
 			vals[x] = probe.value(s, x)
 			ok[x] = true
 		})
+		if ev.canceled() {
+			return set, cur
+		}
 		cands = cands[:0]
 		for x := 0; x < n; x++ {
 			if ok[x] && vals[x] > cur {
@@ -636,6 +685,9 @@ func hillClimb(co *CountingOracle, n int, set []int, cur float64, ev evaluator) 
 			cands[k] = cand
 			ok[k] = true
 		})
+		if ev.canceled() {
+			return set, cur
+		}
 		bestK, bestVal := -1, cur
 		for k := 0; k < m; k++ {
 			if ok[k] && vals[k] > bestVal {

@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,9 @@ type Options struct {
 	// Workers is the number of goroutines each candidate sweep fans move
 	// evaluations across; 0 or 1 evaluates sequentially.
 	Workers int
+	// Ctx, when non-nil, lets a run be canceled between (and inside)
+	// candidate sweeps; see Context.
+	Ctx context.Context
 }
 
 // Option mutates Options.
@@ -36,6 +40,15 @@ func Parallel(workers int) Option {
 	return func(o *Options) { o.Workers = workers }
 }
 
+// Context makes the run cancelable: when ctx is canceled the algorithm
+// abandons the sweep in flight, discards that sweep's partial results, and
+// returns a Result whose Err is ErrCanceled and whose Set/Value hold the
+// last fully-completed state (never a partially-reduced argmax). Without
+// this option runs are uninterruptible, as historically.
+func Context(ctx context.Context) Option {
+	return func(o *Options) { o.Ctx = ctx }
+}
+
 func buildOptions(opts []Option) Options {
 	var o Options
 	for _, fn := range opts {
@@ -47,6 +60,7 @@ func buildOptions(opts []Option) Options {
 // evaluator runs candidate sweeps for one algorithm run.
 type evaluator struct {
 	workers int
+	ctx     context.Context
 }
 
 func newEvaluator(opts []Option) evaluator {
@@ -55,20 +69,42 @@ func newEvaluator(opts []Option) evaluator {
 	if w < 1 {
 		w = 1
 	}
-	return evaluator{workers: w}
+	return evaluator{workers: w, ctx: o.Ctx}
 }
+
+// canceled reports whether the run's context (if any) has been canceled.
+// Algorithms call it right after each sweep: a true return means that
+// sweep's outputs are partial and must be discarded.
+func (e evaluator) canceled() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+// cancelStride bounds how many sequential evaluations run between context
+// checks; oracle evaluations dominate, so the check is amortized to noise.
+const cancelStride = 32
 
 // sweep evaluates eval(i) for every i in [0, m), fanning across the
 // evaluator's workers. eval must write its outcome to storage indexed by i
 // (never shared across indices), which makes the sweep's result independent
 // of evaluation order. With one worker the calls run inline in index order.
+// A canceled context stops the sweep early, leaving the remaining indices
+// unevaluated — callers must check canceled() before reducing the outputs.
 func (e evaluator) sweep(m int, eval func(i int)) {
 	w := e.workers
 	if w > m {
 		w = m
 	}
 	if w <= 1 {
+		if e.ctx == nil {
+			for i := 0; i < m; i++ {
+				eval(i)
+			}
+			return
+		}
 		for i := 0; i < m; i++ {
+			if i%cancelStride == 0 && e.ctx.Err() != nil {
+				return
+			}
 			eval(i)
 		}
 		return
@@ -86,6 +122,9 @@ func (e evaluator) sweep(m int, eval func(i int)) {
 		go func() {
 			defer wg.Done()
 			for {
+				if e.ctx != nil && e.ctx.Err() != nil {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= m {
 					return

@@ -1,0 +1,53 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"freshsource/internal/obs"
+)
+
+// Gate is the bounded-concurrency admission controller in front of the
+// heavy endpoints. It never queues: a request either gets a slot
+// immediately or is turned away (the handler answers 429), keeping a
+// saturated server responsive on its cheap endpoints and bounding memory
+// under overload.
+type Gate struct {
+	sem      chan struct{}
+	inflight atomic.Int64
+}
+
+// NewGate builds a gate admitting at most n concurrent holders.
+func NewGate(n int) *Gate {
+	return &Gate{sem: make(chan struct{}, n)}
+}
+
+// TryAcquire claims a slot without blocking; false means saturated.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		n := g.inflight.Add(1)
+		if obs.Enabled() {
+			obs.Counter("serve.admission.admitted").Inc()
+			obs.Gauge("serve.admission.inflight").Set(float64(n))
+		}
+		return true
+	default:
+		obs.Counter("serve.admission.rejected").Inc()
+		return false
+	}
+}
+
+// Release returns a slot claimed by TryAcquire.
+func (g *Gate) Release() {
+	n := g.inflight.Add(-1)
+	if obs.Enabled() {
+		obs.Gauge("serve.admission.inflight").Set(float64(n))
+	}
+	<-g.sem
+}
+
+// Inflight returns the number of currently held slots.
+func (g *Gate) Inflight() int { return int(g.inflight.Load()) }
+
+// Capacity returns the gate's admission bound.
+func (g *Gate) Capacity() int { return cap(g.sem) }

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"runtime"
+	"time"
+)
+
+// Config tunes a freshd server. The zero value is production-serviceable:
+// every field has a withDefaults fallback.
+type Config struct {
+	// Addr is the listen address of ListenAndServe (":8080" by default;
+	// use ":0" in tests to bind an ephemeral port).
+	Addr string
+
+	// MaxInflight bounds how many selection/quality requests may run
+	// concurrently; requests beyond it are rejected with 429 instead of
+	// queueing (fail fast so a saturated server stays responsive on
+	// /healthz and /metrics). Defaults to 2×GOMAXPROCS.
+	MaxInflight int
+
+	// RequestTimeout bounds each selection/quality request; on expiry the
+	// solve is canceled (selection discards the sweep in flight) and the
+	// client gets 504. Defaults to 30s.
+	RequestTimeout time.Duration
+
+	// ShutdownGrace bounds the drain on shutdown: after the listener
+	// closes, in-flight requests get this long to finish. Defaults to 10s.
+	ShutdownGrace time.Duration
+
+	// DefaultFuture is |Tf| when a request names neither ticks nor future
+	// (10, matching freshselect).
+	DefaultFuture int
+
+	// MaxCacheEntries bounds each registry cache (results, problems, set
+	// states); on overflow a cache is reset wholesale. Defaults to 4096.
+	MaxCacheEntries int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.ShutdownGrace <= 0 {
+		c.ShutdownGrace = 10 * time.Second
+	}
+	if c.DefaultFuture <= 0 {
+		c.DefaultFuture = 10
+	}
+	if c.MaxCacheEntries <= 0 {
+		c.MaxCacheEntries = 4096
+	}
+	return c
+}

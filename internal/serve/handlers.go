@@ -1,0 +1,400 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"freshsource/internal/core"
+	"freshsource/internal/obs"
+	"freshsource/internal/timeline"
+)
+
+// SelectRequest is the body of POST /v1/select. Zero values take the
+// freshselect defaults, so `{}` is a valid request (maxsub over the linear
+// coverage gain, unconstrained, ten spread future ticks).
+type SelectRequest struct {
+	Algorithm string  `json:"algorithm,omitempty"` // greedy|maxsub|grasp|lazygreedy|budgeted
+	Gain      string  `json:"gain,omitempty"`      // linear|quad|step|data
+	Metric    string  `json:"metric,omitempty"`    // coverage|local-freshness|global-freshness|accuracy
+	Divisors  []int   `json:"divisors,omitempty"`  // frequency divisors (Definition 4)
+	Budget    float64 `json:"budget,omitempty"`    // βc on rescaled cost in (0,1]; 0 = unconstrained
+	Kappa     int     `json:"kappa,omitempty"`     // GRASP κ
+	Rounds    int     `json:"rounds,omitempty"`    // GRASP r
+	Seed      int64   `json:"seed,omitempty"`      // GRASP seed
+	Workers   int     `json:"workers,omitempty"`   // sweep workers; 0 sequential, -1 all cores
+	Cache     bool    `json:"cache,omitempty"`     // memoize oracle evaluations
+	Lazy      bool    `json:"lazy,omitempty"`      // CELF path for greedy
+	Future    int     `json:"future,omitempty"`    // |Tf| when Ticks is empty
+	Ticks     []int64 `json:"ticks,omitempty"`     // explicit Tf (overrides Future)
+}
+
+// SelectResponse is the body of POST /v1/select. It carries no timing or
+// cache-state fields on purpose: the same request must produce the same
+// bytes whether it was computed or replayed from the warm registry (warm
+// hit rates are visible on /metrics instead).
+type SelectResponse struct {
+	Algorithm   string   `json:"algorithm"`
+	Set         []int    `json:"set"`
+	Names       []string `json:"names"`
+	Divisors    []int    `json:"divisors"`
+	Profit      float64  `json:"profit"`
+	Gain        float64  `json:"gain"`
+	AvgCoverage float64  `json:"avg_coverage"`
+	AvgAccuracy float64  `json:"avg_accuracy"`
+	OracleCalls int      `json:"oracle_calls"`
+	Ticks       []int64  `json:"ticks"`
+}
+
+// QualityRequest is the body of POST /v1/quality: evaluate an explicit
+// candidate set at future ticks.
+type QualityRequest struct {
+	Set      []int   `json:"set"`
+	Divisors []int   `json:"divisors,omitempty"`
+	Future   int     `json:"future,omitempty"`
+	Ticks    []int64 `json:"ticks,omitempty"`
+}
+
+// QualityPoint is the estimated integration quality at one future tick.
+type QualityPoint struct {
+	Tick            int64   `json:"tick"`
+	Coverage        float64 `json:"coverage"`
+	LocalFreshness  float64 `json:"local_freshness"`
+	GlobalFreshness float64 `json:"global_freshness"`
+	Accuracy        float64 `json:"accuracy"`
+	ExpectedOmega   float64 `json:"expected_omega"`
+	ExpectedSize    float64 `json:"expected_size"`
+}
+
+// QualityResponse is the body of POST /v1/quality.
+type QualityResponse struct {
+	Set         []int          `json:"set"`
+	Ticks       []int64        `json:"ticks"`
+	Points      []QualityPoint `json:"points"`
+	AvgCoverage float64        `json:"avg_coverage"`
+	AvgAccuracy float64        `json:"avg_accuracy"`
+}
+
+// SourceInfo describes one source of the loaded snapshot.
+type SourceInfo struct {
+	Index    int    `json:"index"`
+	Name     string `json:"name"`
+	SizeAtT0 int    `json:"size_at_t0"`
+}
+
+// SourcesResponse is the body of GET /v1/sources.
+type SourcesResponse struct {
+	Dataset     string       `json:"dataset"`
+	T0          int64        `json:"t0"`
+	Horizon     int64        `json:"horizon"`
+	NumEntities int          `json:"num_entities"`
+	Sources     []SourceInfo `json:"sources"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
+	writeBody(w, code, append(body, '\n'))
+}
+
+func writeBody(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody strictly decodes a JSON request body (unknown fields are a 400:
+// a misspelled option silently falling back to a default would be worse).
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// withDefaults normalizes a select request: every defaulted field is made
+// explicit and Future is resolved into Ticks, so the normalized form is the
+// canonical cache identity of the request.
+func (req SelectRequest) withDefaults(defaultFuture int) SelectRequest {
+	if req.Algorithm == "" {
+		req.Algorithm = string(core.MaxSub)
+	}
+	if req.Gain == "" {
+		req.Gain = "linear"
+	}
+	if req.Metric == "" {
+		req.Metric = "coverage"
+	}
+	if req.Kappa <= 0 {
+		req.Kappa = 5
+	}
+	if req.Rounds <= 0 {
+		req.Rounds = 20
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if len(req.Ticks) == 0 && req.Future <= 0 {
+		req.Future = defaultFuture
+	}
+	return req
+}
+
+// resolveTicks turns a request's explicit Tf or future count into validated
+// ticks inside the evaluation window (T0, Horizon).
+func (s *Server) resolveTicks(explicit []int64, future int) ([]timeline.Tick, error) {
+	if len(explicit) > 0 {
+		out := make([]timeline.Tick, len(explicit))
+		for i, t := range explicit {
+			tk := timeline.Tick(t)
+			if tk <= s.d.T0 || tk >= s.d.Horizon() {
+				return nil, fmt.Errorf("tick %d outside the evaluation window (%d, %d]",
+					t, s.d.T0, s.d.Horizon()-1)
+			}
+			out[i] = tk
+		}
+		return out, nil
+	}
+	if future <= 0 {
+		future = s.cfg.DefaultFuture
+	}
+	return SpreadTicks(s.d.T0, s.d.Horizon(), future), nil
+}
+
+func validDivisors(divs []int) error {
+	for _, m := range divs {
+		if m < 1 {
+			return fmt.Errorf("divisor %d must be ≥ 1", m)
+		}
+	}
+	return nil
+}
+
+// canceled reports whether err is a timeout/cancellation outcome that maps
+// to 504 (the request's deadline fired and the solve was abandoned).
+func canceled(err error) bool {
+	return errors.Is(err, core.ErrCanceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req SelectRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	req = req.withDefaults(s.cfg.DefaultFuture)
+
+	switch core.Algorithm(req.Algorithm) {
+	case core.Greedy, core.MaxSub, core.GRASP, core.LazyGreedy, core.Budgeted:
+	default:
+		writeErr(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
+		return
+	}
+	if _, err := MakeGain(req.Gain, req.Metric, s.d.World.NumEntities()); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validDivisors(req.Divisors); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Budget < 0 || req.Budget > 1 {
+		writeErr(w, http.StatusBadRequest, "budget %g outside [0, 1]", req.Budget)
+		return
+	}
+	ticks, err := s.resolveTicks(req.Ticks, req.Future)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	req.Ticks = make([]int64, len(ticks))
+	for i, t := range ticks {
+		req.Ticks[i] = int64(t)
+	}
+	req.Future = 0 // folded into Ticks; keep the cache identity canonical
+
+	key, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if body, ok := s.reg.CachedResult(string(key)); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	prob, err := s.reg.Problem(ctx, req.Divisors, req.Gain, req.Metric, req.Budget, ticks)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	sel, err := prob.SolveContext(ctx, core.Algorithm(req.Algorithm), core.SolveOptions{
+		Kappa: req.Kappa, Rounds: req.Rounds, Seed: req.Seed,
+		Workers: req.Workers, Cache: req.Cache, Lazy: req.Lazy,
+	})
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+
+	resp := SelectResponse{
+		Algorithm:   string(sel.Algorithm),
+		Set:         emptyNotNil(sel.Set),
+		Names:       emptyNotNil(sel.Names),
+		Divisors:    emptyNotNil(sel.Divisors),
+		Profit:      sel.Profit,
+		Gain:        sel.Gain,
+		AvgCoverage: sel.AvgCoverage,
+		AvgAccuracy: sel.AvgAccuracy,
+		OracleCalls: sel.OracleCalls,
+		Ticks:       req.Ticks,
+	}
+	body, err := json.Marshal(resp)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	body = append(body, '\n')
+	s.reg.PutResult(string(key), body)
+	writeBody(w, http.StatusOK, body)
+}
+
+func (s *Server) solveError(w http.ResponseWriter, err error) {
+	if canceled(err) {
+		obs.Counter("serve.timeouts").Inc()
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded; run canceled: %v", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req QualityRequest
+	if !decodeBody(w, r, &req) {
+		return
+	}
+	if err := validDivisors(req.Divisors); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ticks, err := s.resolveTicks(req.Ticks, req.Future)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	tr, err := s.reg.Trained(ctx, req.Divisors)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	for _, i := range req.Set {
+		if i < 0 || i >= tr.NumCandidates() {
+			writeErr(w, http.StatusBadRequest, "candidate %d outside [0, %d)", i, tr.NumCandidates())
+			return
+		}
+	}
+	st, tr, err := s.reg.State(ctx, req.Divisors, req.Set)
+	if err != nil {
+		s.solveError(w, err)
+		return
+	}
+	qs := tr.Est.QualityMultiState(st, ticks)
+
+	resp := QualityResponse{
+		Set:    emptyNotNil(req.Set),
+		Ticks:  make([]int64, len(ticks)),
+		Points: make([]QualityPoint, len(qs)),
+	}
+	for k, q := range qs {
+		resp.Ticks[k] = int64(ticks[k])
+		resp.Points[k] = QualityPoint{
+			Tick:            int64(ticks[k]),
+			Coverage:        q.Coverage,
+			LocalFreshness:  q.LocalFreshness,
+			GlobalFreshness: q.GlobalFreshness,
+			Accuracy:        q.Accuracy,
+			ExpectedOmega:   q.ExpectedOmega,
+			ExpectedSize:    q.ExpectedSize,
+		}
+		resp.AvgCoverage += q.Coverage
+		resp.AvgAccuracy += q.Accuracy
+	}
+	if len(qs) > 0 {
+		resp.AvgCoverage /= float64(len(qs))
+		resp.AvgAccuracy /= float64(len(qs))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	resp := SourcesResponse{
+		Dataset:     s.d.Name,
+		T0:          int64(s.d.T0),
+		Horizon:     int64(s.d.Horizon()),
+		NumEntities: s.d.World.NumEntities(),
+		Sources:     make([]SourceInfo, len(s.d.Sources)),
+	}
+	sizes := s.d.SizeAt(s.d.T0)
+	for i, src := range s.d.Sources {
+		resp.Sources[i] = SourceInfo{Index: i, Name: src.Name(), SizeAtT0: sizes[i]}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"dataset": s.d.Name,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := obs.Active().Snapshot()
+	w.Header().Set("Content-Type", "application/json")
+	snap.WriteJSON(w)
+}
+
+// emptyNotNil pins empty slices to `[]` (not `null`) in responses, keeping
+// the encoding of an empty selection deterministic and type-stable.
+func emptyNotNil[T any](xs []T) []T {
+	if xs == nil {
+		return []T{}
+	}
+	return xs
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"freshsource/internal/core"
+	"freshsource/internal/dataset"
+	"freshsource/internal/estimate"
+	"freshsource/internal/obs"
+	"freshsource/internal/timeline"
+)
+
+// Registry keeps everything fitted or derived from the server's snapshot
+// warm across requests, so repeated queries skip refitting:
+//
+//   - trained: fitted world models + profiles + cost model per frequency-
+//     divisor configuration (key "2,3,4" in request order, "" = base).
+//     Fitting is the expensive step; it runs once per configuration, with
+//     concurrent requests for the same key waiting on the first fit.
+//   - problems: assembled selection problems per (divisors, gain, metric,
+//     budget, Tf) — the profit oracle and matroid constraints.
+//   - states: estimate.SetState per (divisors, explicit candidate set) —
+//     the /v1/quality warm path; each state lazily accumulates per-tick
+//     miss products, so overlapping Tf vectors get cheaper over time.
+//   - results: marshaled /v1/select response bodies per canonical request,
+//     making a repeated query a map lookup (and byte-identical by
+//     construction).
+//
+// All caches are bounded by maxEntries; on overflow a cache resets
+// wholesale (an epoch flush — simple, and the refit cost is the same as a
+// cold start for the flushed keys only). Hit/miss counters live under
+// serve.registry.* in the obs snapshot; the warm hit rate is
+// result_hits / (result_hits + result_misses).
+type Registry struct {
+	d   *dataset.Dataset
+	max int
+
+	mu       sync.Mutex
+	trained  map[string]*trainedEntry
+	problems map[string]*core.Problem
+	states   map[string]*estimate.SetState
+	results  map[string][]byte
+}
+
+// trainedEntry is a fit-once slot: the first requester fits, everyone else
+// waits on ready.
+type trainedEntry struct {
+	ready chan struct{}
+	tr    *core.Trained
+	err   error
+}
+
+// NewRegistry builds an empty registry over the snapshot.
+func NewRegistry(d *dataset.Dataset, maxEntries int) *Registry {
+	return &Registry{
+		d:        d,
+		max:      maxEntries,
+		trained:  make(map[string]*trainedEntry),
+		problems: make(map[string]*core.Problem),
+		states:   make(map[string]*estimate.SetState),
+		results:  make(map[string][]byte),
+	}
+}
+
+// DivKey canonicalizes a divisor list. Order is preserved: candidate
+// numbering depends on it, exactly as freshselect's -divisors flag.
+func DivKey(divisors []int) string {
+	if len(divisors) == 0 {
+		return ""
+	}
+	parts := make([]string, len(divisors))
+	for i, d := range divisors {
+		parts[i] = strconv.Itoa(d)
+	}
+	return strings.Join(parts, ",")
+}
+
+// Trained returns the fitted models for a divisor configuration, fitting on
+// first use. The fit runs under ctx (a fired deadline aborts it); a failed
+// fit is not cached, so the next request retries.
+func (r *Registry) Trained(ctx context.Context, divisors []int) (*core.Trained, error) {
+	key := DivKey(divisors)
+	r.mu.Lock()
+	if e, ok := r.trained[key]; ok {
+		r.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, e.err
+		}
+		obs.Counter("serve.registry.trained_hits").Inc()
+		return e.tr, nil
+	}
+	e := &trainedEntry{ready: make(chan struct{})}
+	if len(r.trained) >= r.max {
+		r.trained = make(map[string]*trainedEntry)
+		obs.Counter("serve.registry.evictions").Inc()
+	}
+	r.trained[key] = e
+	r.mu.Unlock()
+	obs.Counter("serve.registry.trained_misses").Inc()
+
+	tr, err := core.TrainContext(ctx, r.d.World, r.d.Sources, r.d.T0, core.TrainOptions{
+		FreqDivisors: divisors,
+	})
+	e.tr, e.err = tr, err
+	if err != nil {
+		r.mu.Lock()
+		if r.trained[key] == e {
+			delete(r.trained, key)
+		}
+		r.mu.Unlock()
+	}
+	close(e.ready)
+	return tr, err
+}
+
+// Problem returns the assembled selection problem for (divisors, gain,
+// metric, budget, ticks), building and caching it over the warm Trained.
+func (r *Registry) Problem(ctx context.Context, divisors []int, gainName, metric string, budget float64, ticks []timeline.Tick) (*core.Problem, error) {
+	tr, err := r.Trained(ctx, divisors)
+	if err != nil {
+		return nil, err
+	}
+	key := fmt.Sprintf("%s|%s|%s|%g|%s", DivKey(divisors), gainName, metric, budget, tickKey(ticks))
+
+	r.mu.Lock()
+	if p, ok := r.problems[key]; ok {
+		r.mu.Unlock()
+		obs.Counter("serve.registry.problem_hits").Inc()
+		return p, nil
+	}
+	r.mu.Unlock()
+	obs.Counter("serve.registry.problem_misses").Inc()
+
+	g, err := MakeGain(gainName, metric, r.d.World.NumEntities())
+	if err != nil {
+		return nil, err
+	}
+	p, err := core.NewProblem(tr, ticks, g, core.ProblemOptions{Budget: budget})
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if prev, ok := r.problems[key]; ok {
+		p = prev // a concurrent builder won; converge on one instance
+	} else {
+		if len(r.problems) >= r.max {
+			r.problems = make(map[string]*core.Problem)
+			obs.Counter("serve.registry.evictions").Inc()
+		}
+		r.problems[key] = p
+	}
+	r.mu.Unlock()
+	return p, nil
+}
+
+// State returns the warm evaluation state of an explicit candidate set
+// (request order preserved — it is the fold order of the miss products).
+func (r *Registry) State(ctx context.Context, divisors []int, set []int) (*estimate.SetState, *core.Trained, error) {
+	tr, err := r.Trained(ctx, divisors)
+	if err != nil {
+		return nil, nil, err
+	}
+	key := DivKey(divisors) + "|" + tickKeyInts(set)
+
+	r.mu.Lock()
+	if st, ok := r.states[key]; ok {
+		r.mu.Unlock()
+		obs.Counter("serve.registry.state_hits").Inc()
+		return st, tr, nil
+	}
+	r.mu.Unlock()
+	obs.Counter("serve.registry.state_misses").Inc()
+
+	st := tr.Est.NewSetState(set)
+	r.mu.Lock()
+	if prev, ok := r.states[key]; ok {
+		st = prev
+	} else {
+		if len(r.states) >= r.max {
+			r.states = make(map[string]*estimate.SetState)
+			obs.Counter("serve.registry.evictions").Inc()
+		}
+		r.states[key] = st
+	}
+	r.mu.Unlock()
+	return st, tr, nil
+}
+
+// CachedResult returns the marshaled response of an identical earlier
+// select request, if still cached.
+func (r *Registry) CachedResult(key string) ([]byte, bool) {
+	r.mu.Lock()
+	body, ok := r.results[key]
+	r.mu.Unlock()
+	if ok {
+		obs.Counter("serve.registry.result_hits").Inc()
+	} else {
+		obs.Counter("serve.registry.result_misses").Inc()
+	}
+	return body, ok
+}
+
+// PutResult caches a marshaled select response.
+func (r *Registry) PutResult(key string, body []byte) {
+	r.mu.Lock()
+	if len(r.results) >= r.max {
+		r.results = make(map[string][]byte)
+		obs.Counter("serve.registry.evictions").Inc()
+	}
+	r.results[key] = body
+	r.mu.Unlock()
+}
+
+func tickKey(ts []timeline.Tick) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = strconv.FormatInt(int64(t), 10)
+	}
+	return strings.Join(parts, ",")
+}
+
+func tickKeyInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}

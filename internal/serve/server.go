@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/obs"
+)
+
+// Server is a freshd instance: one snapshot, a warm model registry, an
+// admission gate and the HTTP surface.
+//
+// Endpoints:
+//
+//	POST /v1/select   run a selection algorithm (gated, timed out, cached)
+//	POST /v1/quality  evaluate an explicit candidate set (gated, timed out)
+//	GET  /v1/sources  describe the loaded snapshot
+//	GET  /healthz     liveness
+//	GET  /metrics     obs registry snapshot as JSON
+type Server struct {
+	cfg  Config
+	d    *dataset.Dataset
+	reg  *Registry
+	gate *Gate
+	mux  *http.ServeMux
+	addr atomic.Value // string; bound address once serving
+}
+
+// New builds a server over the snapshot and pre-fits the base models, so
+// the first request pays no training cost. Telemetry is enabled globally:
+// a daemon always wants /metrics live.
+func New(d *dataset.Dataset, cfg Config) (*Server, error) {
+	if d == nil || d.World == nil || len(d.Sources) == 0 {
+		return nil, errors.New("serve: empty dataset")
+	}
+	cfg = cfg.withDefaults()
+	obs.Enable()
+
+	s := &Server{
+		cfg:  cfg,
+		d:    d,
+		reg:  NewRegistry(d, cfg.MaxCacheEntries),
+		gate: NewGate(cfg.MaxInflight),
+	}
+	if _, err := s.reg.Trained(context.Background(), nil); err != nil {
+		return nil, fmt.Errorf("serve: startup fit: %w", err)
+	}
+
+	s.mux = http.NewServeMux()
+	s.mux.Handle("/v1/select", obs.Instrument("select", s.gated(http.HandlerFunc(s.handleSelect))))
+	s.mux.Handle("/v1/quality", obs.Instrument("quality", s.gated(http.HandlerFunc(s.handleQuality))))
+	s.mux.Handle("/v1/sources", obs.Instrument("sources", http.HandlerFunc(s.handleSources)))
+	s.mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
+	s.mux.Handle("/metrics", obs.Instrument("metrics", http.HandlerFunc(s.handleMetrics)))
+	return s, nil
+}
+
+// gated wraps a heavy endpoint behind the admission gate: saturation is an
+// immediate 429, never a queue.
+func (s *Server) gated(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !s.gate.TryAcquire() {
+			w.Header().Set("Retry-After", "1")
+			writeErr(w, http.StatusTooManyRequests,
+				"server saturated (%d requests in flight)", s.gate.Capacity())
+			return
+		}
+		defer s.gate.Release()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Handler returns the HTTP surface (for httptest and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the warm registry (for tests and diagnostics).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Addr returns the bound listen address once ListenAndServe is up ("" before).
+func (s *Server) Addr() string {
+	if v := s.addr.Load(); v != nil {
+		return v.(string)
+	}
+	return ""
+}
+
+// ListenAndServe binds cfg.Addr and serves until ctx is canceled, then
+// drains gracefully: the listener closes immediately (new connections are
+// refused), in-flight requests get cfg.ShutdownGrace to finish.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ctx, ln)
+}
+
+// Serve is ListenAndServe over an existing listener (tests bind ":0"
+// themselves).
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	s.addr.Store(ln.Addr().String())
+	srv := &http.Server{Handler: s.mux}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	obs.Counter("serve.shutdowns").Inc()
+	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(sctx); err != nil {
+		return fmt.Errorf("serve: drain incomplete: %w", err)
+	}
+	return nil
+}

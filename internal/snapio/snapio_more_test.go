@@ -1,8 +1,10 @@
 package snapio
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -77,5 +79,91 @@ func TestReadBlankLinesTolerated(t *testing.T) {
 	f.Close()
 	if _, err := Read(dir); err != nil {
 		t.Errorf("blank lines should be tolerated: %v", err)
+	}
+}
+
+// TestWritePathCollisions makes each output file in turn uncreatable by
+// pre-creating a directory with its name; Write must fail at that step.
+func TestWritePathCollisions(t *testing.T) {
+	d := smallDataset(t)
+	for _, name := range []string{manifestFile, worldFile, sourcesFile, eventsFile} {
+		dir := t.TempDir()
+		if err := os.Mkdir(filepath.Join(dir, name), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := Write(dir, d); err == nil {
+			t.Errorf("want error when %s is a directory", name)
+		}
+	}
+}
+
+func TestReadInvalidEntityRejected(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON, invalid world: born beyond the horizon.
+	line := `{"id":0,"location":0,"category":0,"born":999999,"died":-1,"visibility":1}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, worldFile), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil {
+		t.Error("want error for entity born beyond horizon")
+	}
+}
+
+func TestReadCorruptEventLine(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, eventsFile), []byte("{not json\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(dir); err == nil {
+		t.Error("want error for corrupt event line")
+	}
+}
+
+func TestReadEventBeyondHorizonRejected(t *testing.T) {
+	d := smallDataset(t)
+	dir := t.TempDir()
+	if err := Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	// Valid JSON, invalid log: event tick outside the observation window.
+	line := `{"src":0,"entity":0,"kind":0,"at":999999}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, eventsFile), []byte(line), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Read(dir)
+	if err == nil {
+		t.Fatal("want error for event beyond horizon")
+	}
+	if !strings.Contains(err.Error(), "snapio: source") {
+		t.Errorf("error should name the offending source: %v", err)
+	}
+}
+
+func TestWriteJSONUnmarshalableValue(t *testing.T) {
+	if err := writeJSON(filepath.Join(t.TempDir(), "x.json"), func() {}); err == nil {
+		t.Error("want error for unmarshalable value")
+	}
+}
+
+func TestWriteLinesCallbackFailures(t *testing.T) {
+	dir := t.TempDir()
+	wantErr := errors.New("boom")
+	if err := writeLines(filepath.Join(dir, "a.jsonl"), 1, func(int) (interface{}, error) {
+		return nil, wantErr
+	}); !errors.Is(err, wantErr) {
+		t.Errorf("record error not propagated: %v", err)
+	}
+	if err := writeLines(filepath.Join(dir, "b.jsonl"), 1, func(int) (interface{}, error) {
+		return make(chan int), nil
+	}); err == nil {
+		t.Error("want error encoding an unmarshalable record")
 	}
 }
