@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages whose concurrency matters enough to gate on the race detector.
-RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate ./internal/serve
+RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate ./internal/serve ./internal/modelcache
 
 # Coverage floor (percent) enforced by `make cover` over ./internal/...
 COVER_FLOOR = 70
@@ -51,22 +51,22 @@ cover:
 # Selection hot-path benchmarks → BENCH_selection.json (ns/op per variant
 # plus speedups of each accelerated path over its sequential baseline).
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' \
-		./internal/selection ./internal/estimate | tee /tmp/bench_selection.out
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' \
+		./internal/selection ./internal/estimate ./internal/modelcache | tee /tmp/bench_selection.out
 	$(GO) run ./cmd/benchjson -out BENCH_selection.json < /tmp/bench_selection.out
 
 # One-iteration pass over the same benchmarks: CI's compile-and-run gate.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' -benchtime=1x \
-		./internal/selection ./internal/estimate
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' -benchtime=1x \
+		./internal/selection ./internal/estimate ./internal/modelcache
 
 # Bench-regression gate: run the tracked benchmarks fresh and diff against
 # the committed BENCH_selection.json; fails on any slowdown beyond
 # BENCH_TOLERANCE. Refresh the baseline with `make bench` after intended
 # performance changes.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd' \
-		./internal/selection ./internal/estimate | \
+	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' \
+		./internal/selection ./internal/estimate ./internal/modelcache | \
 		$(GO) run ./cmd/benchjson -compare BENCH_selection.json -tolerance $(BENCH_TOLERANCE)
 
 # Scaled-down paper-experiment benches at the repo root.

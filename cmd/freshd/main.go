@@ -38,6 +38,8 @@ func main() {
 		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain bound for in-flight requests")
 		future    = flag.Int("future", 10, "default number of future time points of interest")
 		cacheSize = flag.Int("cache-entries", 0, "max entries per registry cache (0 = 4096)")
+		fitWork   = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential); models are byte-identical at any setting")
+		mcDir     = flag.String("modelcache.dir", "", "persistent model cache directory; a verified entry skips the startup fit (empty = disabled)")
 		pprofAddr = flag.String("pprof", "", "also serve pprof/expvar on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
@@ -64,6 +66,8 @@ func main() {
 		ShutdownGrace:   *grace,
 		DefaultFuture:   *future,
 		MaxCacheEntries: *cacheSize,
+		FitWorkers:      *fitWork,
+		ModelCacheDir:   *mcDir,
 	})
 	if err != nil {
 		fatal(err)

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"strings"
 
 	"freshsource/internal/core"
+	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 	"freshsource/internal/serve"
 )
@@ -38,6 +40,8 @@ func main() {
 		cache    = flag.Bool("cache", false, "memoize oracle evaluations by candidate set")
 		lazy     = flag.Bool("lazy", false, "use lazy (CELF) greedy when -alg greedy and the gain is submodular")
 		future   = flag.Int("future", 10, "number of future time points of interest")
+		fitWork  = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential)")
+		mcDir    = flag.String("modelcache", "", "persistent model cache directory; a verified entry skips training (empty = disabled)")
 		scale    = flag.Float64("scale", 0.5, "dataset scale")
 		seed     = flag.Int64("seed", 1, "seed")
 		load     = flag.String("load", "", "load a persisted dataset directory instead of generating")
@@ -69,12 +73,29 @@ func main() {
 	}
 
 	ticks := serve.SpreadTicks(d.T0, d.Horizon(), *future)
-	tr, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{
+	opt := core.TrainOptions{
 		MaxT:         ticks[len(ticks)-1],
 		FreqDivisors: divs,
-	})
-	if err != nil {
-		fatal(err)
+		FitWorkers:   *fitWork,
+	}
+	var tr *core.Trained
+	if *mcDir != "" {
+		mc, err := modelcache.New(*mcDir)
+		if err != nil {
+			fatal(err)
+		}
+		var status modelcache.Status
+		tr, status, err = mc.LoadOrFit(context.Background(), d, opt)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model cache %s: %s\n", mc.Dir(), status)
+	} else {
+		var err error
+		tr, err = core.Train(d.World, d.Sources, d.T0, opt)
+		if err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("trained: %d candidates\n", tr.NumCandidates())
 

@@ -185,6 +185,30 @@ func IntersectAndNotCount(a, b, c *Set) int {
 	return n
 }
 
+// Words returns a copy of the set's 64-bit backing words, least-significant
+// bit first — the wire form used by the persistent model cache.
+func (s *Set) Words() []uint64 {
+	out := make([]uint64, len(s.words))
+	copy(out, s.words)
+	return out
+}
+
+// FromWords reconstructs a set over a universe of n elements from backing
+// words previously obtained via Words. The word count must match the
+// universe; bits beyond n are cleared, so a round trip through
+// Words/FromWords is exact.
+func FromWords(n int, words []uint64) *Set {
+	s := New(n)
+	if len(words) != len(s.words) {
+		panic(fmt.Sprintf("bitset: %d words for universe %d (want %d)", len(words), n, len(s.words)))
+	}
+	copy(s.words, words)
+	if n%wordBits != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << (uint(n) % wordBits)) - 1
+	}
+	return s
+}
+
 // Equal reports whether s and t contain the same elements over the same
 // universe.
 func (s *Set) Equal(t *Set) bool {

@@ -292,3 +292,42 @@ func BenchmarkIntersectAndNotCount(b *testing.B) {
 		IntersectAndNotCount(x, y, z)
 	}
 }
+
+func TestWordsFromWordsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		for _, n := range []int{1, 63, 64, 65, 257} {
+			s := randSet(r, n)
+			if !FromWords(n, s.Words()).Equal(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromWordsMasksTailBits(t *testing.T) {
+	// A corrupted word with bits beyond the universe must not leak into
+	// set membership or counts.
+	s := FromWords(10, []uint64{^uint64(0)})
+	if got := s.Count(); got != 10 {
+		t.Errorf("Count = %d, want 10", got)
+	}
+	for i := 0; i < 10; i++ {
+		if !s.Contains(i) {
+			t.Errorf("missing %d", i)
+		}
+	}
+}
+
+func TestFromWordsWordCountMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on word-count mismatch")
+		}
+	}()
+	FromWords(65, []uint64{0})
+}

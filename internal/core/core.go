@@ -48,6 +48,10 @@ type TrainOptions struct {
 	// divisor m (Definition 4); selection then enforces at most one
 	// version per source.
 	FreqDivisors []int
+	// FitWorkers bounds the model-fitting pool: 0 uses GOMAXPROCS, 1 fits
+	// sequentially, n > 1 fans the per-subdomain and per-source fits across
+	// n goroutines. The fitted models are byte-identical at any setting.
+	FitWorkers int
 }
 
 // Trained is the output of the preprocessing stage of Figure 3: fitted
@@ -82,10 +86,20 @@ func TrainContext(ctx context.Context, w *world.World, srcs []*source.Source, t0
 	if maxT == 0 {
 		maxT = w.Horizon() - 1
 	}
-	est, err := estimate.NewContext(ctx, w, srcs, t0, maxT, opt.Points)
+	est, err := estimate.NewFit(ctx, w, srcs, t0, maxT, opt.Points, estimate.FitOptions{Workers: opt.FitWorkers})
 	if err != nil {
 		return nil, err
 	}
+	return FromEstimator(est, t0, opt)
+}
+
+// FromEstimator finishes training from an already-fitted base estimator:
+// it derives the frequency-variant candidates and the cost model that
+// Train would have built. The persistent model cache uses it to turn a
+// loaded estimator into a Trained without re-running any statistical fit;
+// est must be a base fit (divisor-1 candidates only) and is mutated when
+// opt.FreqDivisors is non-empty.
+func FromEstimator(est *estimate.Estimator, t0 timeline.Tick, opt TrainOptions) (*Trained, error) {
 	constrained := false
 	if len(opt.FreqDivisors) > 0 {
 		if _, err := est.AddFrequencyVariants(opt.FreqDivisors); err != nil {

@@ -1,6 +1,7 @@
 package estimate
 
 import (
+	"context"
 	"testing"
 
 	"freshsource/internal/source"
@@ -12,12 +13,16 @@ import (
 func benchRNG(seed int64) *stats.RNG { return stats.NewRNG(seed) }
 
 // benchmark fixtures are built once.
-var benchEst *Estimator
+var (
+	benchEst  *Estimator
+	benchW    *world.World
+	benchSrcs []*source.Source
+)
 
-func getBenchEstimator(b *testing.B) *Estimator {
+func getBenchFixture(b *testing.B) (*world.World, []*source.Source) {
 	b.Helper()
-	if benchEst != nil {
-		return benchEst
+	if benchW != nil {
+		return benchW, benchSrcs
 	}
 	w, err := world.Generate(world.Config{
 		Subdomains: []world.SubdomainSpec{
@@ -45,12 +50,45 @@ func getBenchEstimator(b *testing.B) *Estimator {
 		}
 		srcs = append(srcs, s)
 	}
+	benchW, benchSrcs = w, srcs
+	return w, srcs
+}
+
+func getBenchEstimator(b *testing.B) *Estimator {
+	b.Helper()
+	if benchEst != nil {
+		return benchEst
+	}
+	w, srcs := getBenchFixture(b)
 	e, err := New(w, srcs, 300, 490, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	benchEst = e
 	return e
+}
+
+// BenchmarkEstimatorNew measures the cold-start fit — the whole Section 4
+// pipeline: per-subdomain world-model MLEs plus per-source profile builds,
+// signature scans and effectiveness tabulation. "seq" is the
+// single-worker baseline; "parallel" fans both fit stages across 4 workers
+// (core-bound: on a single-CPU host the two are expected to tie). The
+// companion "cached" variant lives in internal/modelcache and loads the
+// same fit from the persistent model cache instead of computing it.
+func BenchmarkEstimatorNew(b *testing.B) {
+	w, srcs := getBenchFixture(b)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{{"seq", 1}, {"parallel", 4}} {
+		b.Run(bc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewFit(context.Background(), w, srcs, 300, 490, nil, FitOptions{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkQualityMulti measures the profit oracle's core: a 10-candidate

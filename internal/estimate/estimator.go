@@ -4,7 +4,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"runtime"
 	"sync"
 
 	"freshsource/internal/bitset"
@@ -106,6 +105,16 @@ func New(w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []wo
 // drain. Long-running servers use it to bound on-demand refits by the
 // requesting call's deadline.
 func NewContext(ctx context.Context, w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []world.DomainPoint) (*Estimator, error) {
+	return NewFit(ctx, w, srcs, t0, maxT, pts, FitOptions{})
+}
+
+// NewFit is the configurable fit pipeline behind New and NewContext: the
+// per-subdomain world-model MLEs (Eq. 6–7), per-source Kaplan–Meier
+// effectiveness fits (Eq. 8) and per-candidate signature/tabulation work
+// run across a bounded worker pool (see FitOptions.Workers). Results land
+// in pre-sized slots, so the fitted Estimator is byte-identical to a
+// sequential build at any worker count.
+func NewFit(ctx context.Context, w *world.World, srcs []*source.Source, t0, maxT timeline.Tick, pts []world.DomainPoint, opt FitOptions) (*Estimator, error) {
 	if len(srcs) == 0 {
 		return nil, errors.New("estimate: no sources")
 	}
@@ -116,63 +125,24 @@ func NewContext(ctx context.Context, w *world.World, srcs []*source.Source, t0, 
 		pts = w.Points()
 	}
 	e := &Estimator{T0: t0, MaxT: maxT, points: pts}
+	e.allocModelSlots()
+	workers := opt.workers()
+	obs.Gauge("estimate.fit.workers").Set(float64(workers))
 	defer obs.Start("estimate.fit.seconds").End()
 
-	// World models per query point are independent; fit them in parallel.
+	// World models per query point are independent; fan them across the
+	// pool.
 	fitSpan := obs.Start("estimate.fit.models.seconds")
-	span := int(maxT-t0) + 1
-	e.models = make([]*WorldModel, len(pts))
-	e.masks = make([]*bitset.Set, len(pts))
-	e.survDel = make([][]float64, len(pts))
-	e.survUpd = make([][]float64, len(pts))
-	e.lamIns = make([][]float64, len(pts))
-	e.lamDel = make([][]float64, len(pts))
-	e.lamUpd = make([][]float64, len(pts))
 	{
 		errs := make([]error, len(pts))
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for j, p := range pts {
-			if ctx.Err() != nil {
-				break
+		fitSweep(ctx, workers, len(pts), func(j int) {
+			m, err := FitWorldPoint(w, t0, pts[j])
+			if err != nil {
+				errs[j] = err
+				return
 			}
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(j int, p world.DomainPoint) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				m, err := FitWorldPoint(w, t0, p)
-				if err != nil {
-					errs[j] = err
-					return
-				}
-				e.models[j] = m
-				mask := bitset.New(w.NumEntities())
-				for _, id := range w.EntitiesOf(p) {
-					mask.Add(int(id))
-				}
-				e.masks[j] = mask
-
-				sd := make([]float64, span)
-				su := make([]float64, span)
-				li := make([]float64, span)
-				ld := make([]float64, span)
-				lu := make([]float64, span)
-				for dt := 0; dt < span; dt++ {
-					sd[dt] = m.SurvivalDel(timeline.Tick(dt))
-					su[dt] = m.SurvivalUpd(timeline.Tick(dt))
-					li[dt] = m.LambdaInsAt(t0 + timeline.Tick(dt))
-					ld[dt] = m.LambdaDelAt(t0 + timeline.Tick(dt))
-					lu[dt] = m.LambdaUpdAt(t0 + timeline.Tick(dt))
-				}
-				e.survDel[j] = sd
-				e.survUpd[j] = su
-				e.lamIns[j] = li
-				e.lamDel[j] = ld
-				e.lamUpd[j] = lu
-			}(j, p)
-		}
-		wg.Wait()
+			e.setModel(j, m, w)
+		})
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("estimate: model fit canceled: %w", err)
 		}
@@ -184,43 +154,20 @@ func NewContext(ctx context.Context, w *world.World, srcs []*source.Source, t0, 
 	}
 	fitSpan.EndWithCount(obs.Counter("estimate.fit.points"), int64(len(pts)))
 
-	// Profiles are independent; build them in parallel. Results land at
-	// fixed indices, so the estimator stays deterministic.
+	// Profiles are independent; fan them across the same pool. Results
+	// land at fixed indices, so the estimator stays deterministic.
 	profSpan := obs.Start("estimate.fit.profiles.seconds")
 	maxDelay := int(maxT - t0 + 1)
 	e.cands = make([]*Candidate, len(srcs))
 	errs := make([]error, len(srcs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, s := range srcs {
-		if ctx.Err() != nil {
-			break
+	fitSweep(ctx, workers, len(srcs), func(i int) {
+		c, err := buildCandidate(w, srcs[i], i, t0, pts, maxDelay)
+		if err != nil {
+			errs[i] = err
+			return
 		}
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, s *source.Source) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			prof, err := profile.Build(w, s, t0, pts)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			covered := make(map[world.DomainPoint]bool, len(s.Spec().Points))
-			for _, p := range s.Spec().Points {
-				covered[p] = true
-			}
-			c := &Candidate{Profile: prof, SourceIndex: i, covers: make([]bool, len(pts))}
-			for j, p := range pts {
-				c.covers[j] = covered[p]
-			}
-			c.gi = tabulate(prof.Gi, maxDelay)
-			c.gd = tabulate(prof.Gd, maxDelay)
-			c.gu = tabulate(prof.Gu, maxDelay)
-			e.cands[i] = c
-		}(i, s)
-	}
-	wg.Wait()
+		e.cands[i] = c
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("estimate: profile fit canceled: %w", err)
 	}
@@ -233,15 +180,91 @@ func NewContext(ctx context.Context, w *world.World, srcs []*source.Source, t0, 
 	return e, nil
 }
 
-// tabulate samples a Kaplan–Meier CDF at integer delays 0 … maxDelay. A nil
+// allocModelSlots pre-sizes the per-point model, mask and lookup-table
+// slots for e.points.
+func (e *Estimator) allocModelSlots() {
+	n := len(e.points)
+	e.models = make([]*WorldModel, n)
+	e.masks = make([]*bitset.Set, n)
+	e.survDel = make([][]float64, n)
+	e.survUpd = make([][]float64, n)
+	e.lamIns = make([][]float64, n)
+	e.lamDel = make([][]float64, n)
+	e.lamUpd = make([][]float64, n)
+}
+
+// setModel installs a fitted world model at slot j: the per-point entity
+// mask plus the survival/intensity lookup tables over the future window.
+// It is the single table-building path shared by the fit pipeline and the
+// model-cache load (FromFitted), so a cache-loaded estimator's tables are
+// byte-identical to a freshly fitted one's.
+func (e *Estimator) setModel(j int, m *WorldModel, w *world.World) {
+	e.models[j] = m
+	mask := bitset.New(w.NumEntities())
+	for _, id := range w.EntitiesOf(m.Point) {
+		mask.Add(int(id))
+	}
+	e.masks[j] = mask
+
+	span := int(e.MaxT-e.T0) + 1
+	sd := make([]float64, span)
+	su := make([]float64, span)
+	li := make([]float64, span)
+	ld := make([]float64, span)
+	lu := make([]float64, span)
+	for dt := 0; dt < span; dt++ {
+		sd[dt] = m.SurvivalDel(timeline.Tick(dt))
+		su[dt] = m.SurvivalUpd(timeline.Tick(dt))
+		li[dt] = m.LambdaInsAt(e.T0 + timeline.Tick(dt))
+		ld[dt] = m.LambdaDelAt(e.T0 + timeline.Tick(dt))
+		lu[dt] = m.LambdaUpdAt(e.T0 + timeline.Tick(dt))
+	}
+	e.survDel[j] = sd
+	e.survUpd[j] = su
+	e.lamIns[j] = li
+	e.lamDel[j] = ld
+	e.lamUpd[j] = lu
+}
+
+// buildCandidate profiles one source and tabulates its effectiveness
+// tables — the per-candidate unit of the fit pipeline.
+func buildCandidate(w *world.World, s *source.Source, i int, t0 timeline.Tick, pts []world.DomainPoint, maxDelay int) (*Candidate, error) {
+	prof, err := profile.Build(w, s, t0, pts)
+	if err != nil {
+		return nil, err
+	}
+	covered := make(map[world.DomainPoint]bool, len(s.Spec().Points))
+	for _, p := range s.Spec().Points {
+		covered[p] = true
+	}
+	c := &Candidate{Profile: prof, SourceIndex: i, covers: make([]bool, len(pts))}
+	for j, p := range pts {
+		c.covers[j] = covered[p]
+	}
+	c.gi = tabulate(prof.Gi, maxDelay)
+	c.gd = tabulate(prof.Gd, maxDelay)
+	c.gu = tabulate(prof.Gu, maxDelay)
+	return c, nil
+}
+
+// tabulate samples a Kaplan–Meier CDF at integer delays 0 … maxDelay with
+// a single merge walk over the step points (O(maxDelay + steps) instead of
+// a binary search per delay); the values are exactly CDF(d). A nil
 // distribution (no observations) tabulates to zero effectiveness.
 func tabulate(km *stats.KaplanMeier, maxDelay int) []float64 {
 	out := make([]float64, maxDelay+1)
 	if km == nil {
 		return out
 	}
+	times, cdf := km.Steps()
+	k := 0
+	cur := 0.0
 	for d := 0; d <= maxDelay; d++ {
-		out[d] = km.CDF(float64(d))
+		for k < len(times) && times[k] <= float64(d) {
+			cur = cdf[k]
+			k++
+		}
+		out[d] = cur
 	}
 	return out
 }
@@ -270,7 +293,15 @@ func (e *Estimator) SetLinearOmega(on bool) {
 
 // AddFrequencyVariants appends, for every base candidate (divisor 1),
 // variants acquired at each of the given divisors. It returns the total
-// number of candidates. Variants share their base's effectiveness tables.
+// number of candidates.
+//
+// Variants alias their base's tabulated effectiveness tables, coverage
+// flags and signature bitsets rather than recomputing them — the tables
+// describe the underlying source, not the acquisition schedule, so the
+// O(variants × maxDelay) re-tabulation would be pure waste (and the
+// persistent model cache leans on the same invariant: it stores only
+// divisor-1 candidates and re-derives variants on load). The aliasing is
+// pinned by TestFrequencyVariantsShareTables.
 func (e *Estimator) AddFrequencyVariants(divisors []int) (int, error) {
 	base := len(e.cands)
 	for i := 0; i < base; i++ {
@@ -297,6 +328,8 @@ func (e *Estimator) AddFrequencyVariants(divisors []int) (int, error) {
 		}
 	}
 	obs.Counter("estimate.variants.added").Add(int64(len(e.cands) - base))
+	// Three effectiveness tables shared (not re-tabulated) per variant.
+	obs.Counter("estimate.variants.tables_shared").Add(int64(3 * (len(e.cands) - base)))
 	return len(e.cands), nil
 }
 

@@ -9,10 +9,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"freshsource/internal/core"
 	"freshsource/internal/dataset"
+	"freshsource/internal/modelcache"
 	"freshsource/internal/timeline"
 	"freshsource/internal/world"
 )
@@ -38,6 +41,13 @@ type Config struct {
 	Workers int
 	// CacheOracle memoizes oracle evaluations by candidate set per run.
 	CacheOracle bool
+	// FitWorkers bounds the model-fitting pool of every training run
+	// (0 = GOMAXPROCS, 1 = sequential); fitted models are byte-identical
+	// at any setting.
+	FitWorkers int
+	// ModelCacheDir, when non-empty, persists fitted models to disk so
+	// repeated experiment runs over the same datasets skip refitting.
+	ModelCacheDir string
 }
 
 // Default is the full-size configuration used by cmd/experiments.
@@ -78,10 +88,31 @@ type Env struct {
 	Cfg   Config
 	bl    *dataset.Dataset
 	gdelt *dataset.Dataset
+	mc    *modelcache.Cache
+	mcErr error
 }
 
 // NewEnv returns an empty environment for the configuration.
 func NewEnv(cfg Config) *Env { return &Env{Cfg: cfg} }
+
+// Train fits (or cache-loads) models for a dataset, applying the
+// environment's fit-worker and model-cache settings on top of opt. Every
+// experiment trains through here so a single -fit.workers / -modelcache
+// flag reaches all of them.
+func (e *Env) Train(d *dataset.Dataset, opt core.TrainOptions) (*core.Trained, error) {
+	opt.FitWorkers = e.Cfg.FitWorkers
+	if e.Cfg.ModelCacheDir == "" {
+		return core.Train(d.World, d.Sources, d.T0, opt)
+	}
+	if e.mc == nil && e.mcErr == nil {
+		e.mc, e.mcErr = modelcache.New(e.Cfg.ModelCacheDir)
+	}
+	if e.mcErr != nil {
+		return nil, e.mcErr
+	}
+	tr, _, err := e.mc.LoadOrFit(context.Background(), d, opt)
+	return tr, err
+}
 
 // BL returns the (cached) BL-like dataset.
 func (e *Env) BL() (*dataset.Dataset, error) {

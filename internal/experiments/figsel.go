@@ -27,7 +27,7 @@ func Fig12(env *Env) ([]*Table, error) {
 		// Union of GRASP selections over the six domain-point instances.
 		selected := map[int]bool{}
 		for _, p := range pts {
-			tr, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{
+			tr, err := env.Train(d, core.TrainOptions{
 				Points: []world.DomainPoint{p},
 				MaxT:   ticks[len(ticks)-1],
 			})
@@ -98,7 +98,7 @@ func Fig13a(env *Env) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		tr, err := core.Train(plus.World, plus.Sources, plus.T0, core.TrainOptions{
+		tr, err := env.Train(plus, core.TrainOptions{
 			Points: p,
 			MaxT:   ticks[len(ticks)-1],
 		})
@@ -169,7 +169,7 @@ func Fig13b(env *Env) ([]*Table, error) {
 			break
 		}
 		pts := all[:n]
-		tr, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{Points: pts, MaxT: ticks[len(ticks)-1]})
+		tr, err := env.Train(d, core.TrainOptions{Points: pts, MaxT: ticks[len(ticks)-1]})
 		if err != nil {
 			return nil, err
 		}

@@ -80,7 +80,7 @@ func (e *Env) runInstances(d *dataset.Dataset, pts []world.DomainPoint, g gainCo
 	specs := e.algoSpecs()
 	var runs []instanceRun
 	for _, p := range pts {
-		tr, err := core.Train(d.World, d.Sources, d.T0, core.TrainOptions{
+		tr, err := e.Train(d, core.TrainOptions{
 			Points:       []world.DomainPoint{p},
 			MaxT:         ticks[len(ticks)-1],
 			FreqDivisors: divisors,

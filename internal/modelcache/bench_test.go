@@ -1,0 +1,83 @@
+package modelcache
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"freshsource/internal/estimate"
+	"freshsource/internal/source"
+	"freshsource/internal/stats"
+	"freshsource/internal/world"
+)
+
+// benchFixture mirrors internal/estimate's BenchmarkEstimatorNew fixture
+// (2 subdomains × 2000 entities, 20 sources, fit window [300, 490]) so
+// the "cached" variant below is directly comparable to that benchmark's
+// "seq" and "parallel" variants: same fit, different acquisition path.
+func benchFixture(b *testing.B) (*world.World, []*source.Source) {
+	b.Helper()
+	w, err := world.Generate(world.Config{
+		Subdomains: []world.SubdomainSpec{
+			{Point: world.DomainPoint{Location: 0, Category: 0}, InitialEntities: 2000, LambdaAppear: 5, GammaDisappear: 0.01, GammaUpdate: 0.02},
+			{Point: world.DomainPoint{Location: 1, Category: 0}, InitialEntities: 2000, LambdaAppear: 5, GammaDisappear: 0.01, GammaUpdate: 0.02},
+		},
+		Horizon: 500,
+		Seed:    1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var srcs []*source.Source
+	for i := 0; i < 20; i++ {
+		s, err := source.Observe(w, source.ID(i), source.Spec{
+			Name:           "b",
+			UpdateInterval: 1,
+			Points:         w.Points(),
+			Insert:         source.CaptureSpec{Prob: 0.6, Delay: source.ExponentialDelay{Rate: 0.3}},
+			Delete:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+			Update:         source.CaptureSpec{Prob: 0.5, Delay: source.ExponentialDelay{Rate: 0.2}},
+		}, stats.NewRNG(int64(i)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		srcs = append(srcs, s)
+	}
+	return w, srcs
+}
+
+// BenchmarkEstimatorNew/cached measures a warm model-cache hit: decode a
+// verified cache file and rebuild the estimator via FromFitted — the cost
+// a restart pays instead of the full fit measured by the estimate
+// package's seq/parallel variants of this family.
+func BenchmarkEstimatorNew(b *testing.B) {
+	w, srcs := benchFixture(b)
+	est, err := estimate.NewFit(context.Background(), w, srcs, 300, 490, nil, estimate.FitOptions{Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap, err := est.Export()
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.fsmc")
+	digest := Digest(w, srcs)
+	if err := Save(path, digest, snap); err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("cached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			gotDigest, f, err := Load(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if gotDigest != digest {
+				b.Fatal("digest mismatch")
+			}
+			if _, err := estimate.FromFitted(w, f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package modelcache
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+
+	"freshsource/internal/core"
+	"freshsource/internal/dataset"
+	"freshsource/internal/estimate"
+	"freshsource/internal/obs"
+	"freshsource/internal/timeline"
+	"freshsource/internal/world"
+)
+
+// Status classifies how LoadOrFit obtained its models.
+type Status int
+
+const (
+	// StatusMiss: no usable cache file existed; the models were fitted
+	// from scratch and saved.
+	StatusMiss Status = iota
+	// StatusHit: the models were loaded from a verified cache file; no
+	// statistical fitting ran.
+	StatusHit
+	// StatusCorrupt: a cache file existed but failed verification
+	// (checksum, version or digest); the models were refitted and the
+	// file rewritten.
+	StatusCorrupt
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusMiss:
+		return "miss"
+	case StatusHit:
+		return "hit"
+	case StatusCorrupt:
+		return "corrupt"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Cache is a directory of persisted model fits. The zero value is not
+// usable; construct with New. A Cache is safe for concurrent use — entry
+// files are written atomically and every load is fully verified — though
+// concurrent misses on the same key may fit redundantly (last writer
+// wins, and both writers produce byte-identical files).
+type Cache struct {
+	dir string
+}
+
+// New opens (creating if needed) a model cache rooted at dir.
+func New(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("modelcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("modelcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// FileName names the cache entry for a snapshot digest and fit window.
+// The digest prefix identifies the training data; the fit parameters —
+// t0, maxT and the queried points — are folded into a second key because
+// they change the fitted tables. Deliberately absent: frequency divisors
+// and cost parameters, which are re-derived on load, so one cache entry
+// serves every divisor and cost configuration over the same fit.
+func FileName(digest [32]byte, t0, maxT timeline.Tick, pts []world.DomainPoint) string {
+	h := fnv.New64a()
+	var b [8]byte
+	put := func(v int64) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	put(int64(t0))
+	put(int64(maxT))
+	put(int64(len(pts)))
+	for _, p := range pts {
+		put(int64(p.Location))
+		put(int64(p.Category))
+	}
+	return fmt.Sprintf("%x-%016x.fsmc", digest[:12], h.Sum64())
+}
+
+// Path returns the file path of the cache entry for a digest and fit
+// window.
+func (c *Cache) Path(digest [32]byte, t0, maxT timeline.Tick, pts []world.DomainPoint) string {
+	return filepath.Join(c.dir, FileName(digest, t0, maxT, pts))
+}
+
+// LoadOrFit returns trained models for the dataset, loading them from the
+// cache when a verified entry exists and fitting (then saving) otherwise.
+// The returned Trained is byte-identical whichever path produced it. A
+// cache file that fails verification — corruption, version skew, or a
+// digest that no longer matches the dataset (e.g. a hash collision in the
+// file name) — is treated as absent and overwritten with a fresh fit;
+// corruption never propagates to the caller. Save failures are also
+// non-fatal: the fit succeeded, so the models are returned and only a
+// counter records that the cache could not be written.
+func (c *Cache) LoadOrFit(ctx context.Context, d *dataset.Dataset, opt core.TrainOptions) (*core.Trained, Status, error) {
+	sp := obs.Start("modelcache.digest.seconds")
+	digest := Digest(d.World, d.Sources)
+	sp.End()
+
+	maxT := opt.MaxT
+	if maxT == 0 {
+		maxT = d.World.Horizon() - 1
+	}
+	path := c.Path(digest, d.T0, maxT, opt.Points)
+
+	status := StatusMiss
+	sp = obs.Start("modelcache.load.seconds")
+	gotDigest, fitted, err := Load(path)
+	sp.End()
+	if err == nil && gotDigest != digest {
+		err = fmt.Errorf("%w: snapshot digest mismatch", ErrCorrupt)
+	}
+	if err == nil {
+		var est *estimate.Estimator
+		est, err = estimate.FromFitted(d.World, fitted)
+		if err == nil {
+			tr, ferr := core.FromEstimator(est, d.T0, opt)
+			if ferr != nil {
+				return nil, StatusHit, ferr
+			}
+			obs.Counter("modelcache.hits").Inc()
+			return tr, StatusHit, nil
+		}
+		err = fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if os.IsNotExist(err) {
+		obs.Counter("modelcache.misses").Inc()
+	} else {
+		status = StatusCorrupt
+		obs.Counter("modelcache.corrupt").Inc()
+	}
+
+	est, err := estimate.NewFit(ctx, d.World, d.Sources, d.T0, maxT, opt.Points,
+		estimate.FitOptions{Workers: opt.FitWorkers})
+	if err != nil {
+		return nil, status, err
+	}
+	snap, err := est.Export()
+	if err != nil {
+		return nil, status, err
+	}
+	sp = obs.Start("modelcache.save.seconds")
+	if err := Save(path, digest, snap); err != nil {
+		obs.Counter("modelcache.save_errors").Inc()
+	} else {
+		obs.Counter("modelcache.saves").Inc()
+	}
+	sp.End()
+	tr, err := core.FromEstimator(est, d.T0, opt)
+	if err != nil {
+		return nil, status, err
+	}
+	return tr, status, nil
+}

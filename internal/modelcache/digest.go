@@ -1,0 +1,90 @@
+// Package modelcache persists fitted estimation models to disk so that a
+// process restart — or a registry miss in the selection server — does not
+// have to re-run the statistical fits of Section 4 of the paper. A cache
+// entry is a versioned, checksummed binary snapshot of an
+// estimate.Fitted, keyed by a SHA-256 digest of the training inputs (the
+// world evolution and the source capture logs) plus the fit parameters.
+// On load the digest is re-verified against the live dataset; any
+// mismatch, version skew or corruption falls back to recomputing the fit,
+// so the cache can never serve stale or damaged models.
+package modelcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"math"
+
+	"freshsource/internal/source"
+	"freshsource/internal/world"
+)
+
+// digestVersion is folded into the snapshot digest so that any change to
+// the digested fields or their order invalidates every old digest.
+const digestVersion = "freshsource-modelcache-digest-v1"
+
+// Digest fingerprints the training inputs of a fit: the full world
+// evolution (entity lives, updates and visibilities) and every source's
+// schedule and capture log. Two (world, sources) pairs share a digest
+// exactly when a fit over them produces identical models, so the digest is
+// safe as a cache key for any fit window over the same data.
+func Digest(w *world.World, srcs []*source.Source) [32]byte {
+	h := sha256.New()
+	h.Write([]byte(digestVersion))
+	writeI64(h, int64(w.Horizon()))
+
+	ents := w.Entities()
+	writeI64(h, int64(len(ents)))
+	for i := range ents {
+		e := &ents[i]
+		writeI64(h, int64(e.ID))
+		writeI64(h, int64(e.Point.Location))
+		writeI64(h, int64(e.Point.Category))
+		writeI64(h, int64(e.Born))
+		writeI64(h, int64(e.Died))
+		writeI64(h, int64(len(e.Updates)))
+		for _, u := range e.Updates {
+			writeI64(h, int64(u))
+		}
+		writeU64(h, math.Float64bits(e.Visibility))
+	}
+
+	writeI64(h, int64(len(srcs)))
+	for _, s := range srcs {
+		spec := s.Spec()
+		writeI64(h, int64(s.ID()))
+		writeStr(h, spec.Name)
+		writeI64(h, int64(spec.UpdateInterval))
+		writeI64(h, int64(spec.Phase))
+		writeI64(h, int64(len(spec.Points)))
+		for _, p := range spec.Points {
+			writeI64(h, int64(p.Location))
+			writeI64(h, int64(p.Category))
+		}
+		events := s.Log().Events()
+		writeI64(h, int64(len(events)))
+		for _, ev := range events {
+			writeI64(h, int64(ev.Entity))
+			writeI64(h, int64(ev.Kind))
+			writeI64(h, int64(ev.At))
+			writeI64(h, int64(ev.Version))
+		}
+	}
+
+	var out [32]byte
+	h.Sum(out[:0])
+	return out
+}
+
+func writeU64(h hash.Hash, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	h.Write(b[:])
+}
+
+func writeI64(h hash.Hash, v int64) { writeU64(h, uint64(v)) }
+
+func writeStr(h hash.Hash, s string) {
+	writeI64(h, int64(len(s)))
+	h.Write([]byte(s))
+}

@@ -34,6 +34,16 @@ type Config struct {
 	// MaxCacheEntries bounds each registry cache (results, problems, set
 	// states); on overflow a cache is reset wholesale. Defaults to 4096.
 	MaxCacheEntries int
+
+	// FitWorkers bounds the model-fitting pool used when the registry
+	// fits: 0 uses GOMAXPROCS, 1 fits sequentially. Fitted models are
+	// byte-identical at any setting.
+	FitWorkers int
+
+	// ModelCacheDir, when non-empty, enables the persistent model cache:
+	// the registry consults it before fitting, so a restart over the same
+	// snapshot skips the statistical fits entirely. Empty disables it.
+	ModelCacheDir string
 }
 
 func (c Config) withDefaults() Config {

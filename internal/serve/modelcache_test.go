@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/obs"
+)
+
+// regenDataset builds a fresh dataset object with the fixture's exact
+// generation parameters — what a restarted freshd process would load.
+func regenDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultBLConfig()
+	cfg.Locations = 8
+	cfg.Categories = 5
+	cfg.NumSources = 10
+	cfg.Horizon = 220
+	cfg.T0 = 120
+	cfg.Scale = 0.4
+	d, err := dataset.GenerateBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// TestWarmModelCacheSkipsStartupFit pins the cold-start win end to end: a
+// server restarted over an unchanged snapshot with a warm model cache must
+// run zero statistical fits — asserted on the estimate.fit.seconds span
+// count, which every NewFit records exactly once.
+func TestWarmModelCacheSkipsStartupFit(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{Addr: ":0", ModelCacheDir: dir}
+
+	// Cold start: populates the cache (fit runs once).
+	if _, err := New(regenDataset(t), cfg); err != nil {
+		t.Fatal(err)
+	}
+	if got := counter("serve.registry.modelcache_miss"); got == 0 {
+		t.Fatal("cold start did not report a model-cache miss")
+	}
+
+	fits := obs.Active().Histogram("estimate.fit.seconds").Count()
+	hits := counter("serve.registry.modelcache_hit")
+
+	// Restart: same data regenerated, warm cache — the fit span count must
+	// not move.
+	s, err := New(regenDataset(t), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := obs.Active().Histogram("estimate.fit.seconds").Count(); got != fits {
+		t.Errorf("warm restart ran %d fits, want 0", got-fits)
+	}
+	if got := counter("serve.registry.modelcache_hit"); got != hits+1 {
+		t.Errorf("modelcache_hit went %d -> %d, want +1", hits, got)
+	}
+
+	// The warm server must still answer queries.
+	rec := postJSON(t, s.Handler(), "/v1/select", `{"algorithm":"greedy","gain":"linear","metric":"coverage"}`)
+	if rec.Code != 200 {
+		t.Fatalf("select on warm server: %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestServerWithoutModelCacheStillFits guards the disabled path: no cache
+// dir means the registry trains directly and reports no cache traffic.
+func TestServerWithoutModelCacheStillFits(t *testing.T) {
+	miss := counter("serve.registry.modelcache_miss")
+	hit := counter("serve.registry.modelcache_hit")
+	if _, err := New(regenDataset(t), Config{Addr: ":0"}); err != nil {
+		t.Fatal(err)
+	}
+	if counter("serve.registry.modelcache_miss") != miss || counter("serve.registry.modelcache_hit") != hit {
+		t.Error("model-cache counters moved with the cache disabled")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"freshsource/internal/core"
 	"freshsource/internal/dataset"
 	"freshsource/internal/estimate"
+	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
 )
@@ -36,8 +37,10 @@ import (
 // serve.registry.* in the obs snapshot; the warm hit rate is
 // result_hits / (result_hits + result_misses).
 type Registry struct {
-	d   *dataset.Dataset
-	max int
+	d          *dataset.Dataset
+	max        int
+	fitWorkers int
+	mc         *modelcache.Cache
 
 	mu       sync.Mutex
 	trained  map[string]*trainedEntry
@@ -54,15 +57,21 @@ type trainedEntry struct {
 	err   error
 }
 
-// NewRegistry builds an empty registry over the snapshot.
-func NewRegistry(d *dataset.Dataset, maxEntries int) *Registry {
+// NewRegistry builds an empty registry over the snapshot. fitWorkers
+// bounds the model-fitting pool (0 = GOMAXPROCS); mc, when non-nil, is
+// the persistent model cache consulted before any fit — a verified disk
+// hit skips the statistical fitting entirely, which is what makes a
+// restart over an unchanged snapshot fast.
+func NewRegistry(d *dataset.Dataset, maxEntries, fitWorkers int, mc *modelcache.Cache) *Registry {
 	return &Registry{
-		d:        d,
-		max:      maxEntries,
-		trained:  make(map[string]*trainedEntry),
-		problems: make(map[string]*core.Problem),
-		states:   make(map[string]*estimate.SetState),
-		results:  make(map[string][]byte),
+		d:          d,
+		max:        maxEntries,
+		fitWorkers: fitWorkers,
+		mc:         mc,
+		trained:    make(map[string]*trainedEntry),
+		problems:   make(map[string]*core.Problem),
+		states:     make(map[string]*estimate.SetState),
+		results:    make(map[string][]byte),
 	}
 }
 
@@ -103,9 +112,16 @@ func (r *Registry) Trained(ctx context.Context, divisors []int) (*core.Trained, 
 	r.mu.Unlock()
 	obs.Counter("serve.registry.trained_misses").Inc()
 
-	tr, err := core.TrainContext(ctx, r.d.World, r.d.Sources, r.d.T0, core.TrainOptions{
-		FreqDivisors: divisors,
-	})
+	opt := core.TrainOptions{FreqDivisors: divisors, FitWorkers: r.fitWorkers}
+	var tr *core.Trained
+	var err error
+	if r.mc != nil {
+		var status modelcache.Status
+		tr, status, err = r.mc.LoadOrFit(ctx, r.d, opt)
+		obs.Counter("serve.registry.modelcache_" + status.String()).Inc()
+	} else {
+		tr, err = core.TrainContext(ctx, r.d.World, r.d.Sources, r.d.T0, opt)
+	}
 	e.tr, e.err = tr, err
 	if err != nil {
 		r.mu.Lock()

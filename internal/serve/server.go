@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 
 	"freshsource/internal/dataset"
+	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 )
 
@@ -41,10 +42,17 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	obs.Enable()
 
+	var mc *modelcache.Cache
+	if cfg.ModelCacheDir != "" {
+		var err error
+		if mc, err = modelcache.New(cfg.ModelCacheDir); err != nil {
+			return nil, fmt.Errorf("serve: model cache: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:  cfg,
 		d:    d,
-		reg:  NewRegistry(d, cfg.MaxCacheEntries),
+		reg:  NewRegistry(d, cfg.MaxCacheEntries, cfg.FitWorkers, mc),
 		gate: NewGate(cfg.MaxInflight),
 	}
 	if _, err := s.reg.Trained(context.Background(), nil); err != nil {

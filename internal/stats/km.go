@@ -2,6 +2,7 @@ package stats
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 )
 
@@ -61,6 +62,37 @@ func NewKaplanMeier(obs []Duration) (*KaplanMeier, error) {
 			km.cdf = append(km.cdf, 1-surv)
 		}
 		atRisk -= deaths + censored
+	}
+	return km, nil
+}
+
+// KaplanMeierFromSteps reconstructs an estimator from its Steps() output
+// and observation count — the persistent model cache's load path. times
+// must be strictly increasing and cdf nondecreasing within [0, 1], with
+// matching lengths; n must cover at least the recorded steps. The
+// reconstruction is exact: CDF agrees bit-for-bit with the estimator the
+// steps came from.
+func KaplanMeierFromSteps(times, cdf []float64, n int) (*KaplanMeier, error) {
+	if len(times) != len(cdf) {
+		return nil, fmt.Errorf("stats: %d step times vs %d cdf values", len(times), len(cdf))
+	}
+	if n <= 0 {
+		return nil, errors.New("stats: KaplanMeier with no observations")
+	}
+	prev := 0.0
+	for i := range times {
+		if i > 0 && times[i] <= times[i-1] {
+			return nil, fmt.Errorf("stats: step times not increasing at %d", i)
+		}
+		if cdf[i] < prev || cdf[i] > 1 {
+			return nil, fmt.Errorf("stats: cdf not a distribution at step %d", i)
+		}
+		prev = cdf[i]
+	}
+	km := &KaplanMeier{n: n}
+	if len(times) > 0 {
+		km.times = append([]float64(nil), times...)
+		km.cdf = append([]float64(nil), cdf...)
 	}
 	return km, nil
 }

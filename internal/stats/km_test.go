@@ -168,3 +168,53 @@ func TestKMN(t *testing.T) {
 		t.Errorf("N = %d, want 2", km.N())
 	}
 }
+
+func TestKMFromStepsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		obs := make([]Duration, 1+r.Intn(40))
+		for i := range obs {
+			obs[i] = Duration{Value: float64(r.Intn(20)), Censored: r.Intn(3) == 0}
+		}
+		km, err := NewKaplanMeier(obs)
+		if err != nil {
+			return false
+		}
+		times, cdf := km.Steps()
+		got, err := KaplanMeierFromSteps(times, cdf, km.N())
+		if err != nil {
+			return false
+		}
+		if got.N() != km.N() || got.Plateau() != km.Plateau() {
+			return false
+		}
+		for tau := 0.0; tau < 21; tau += 0.5 {
+			if got.CDF(tau) != km.CDF(tau) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKMFromStepsRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name       string
+		times, cdf []float64
+		n          int
+	}{
+		{"length mismatch", []float64{1, 2}, []float64{0.5}, 2},
+		{"zero observations", nil, nil, 0},
+		{"non-increasing times", []float64{2, 2}, []float64{0.3, 0.6}, 2},
+		{"decreasing cdf", []float64{1, 2}, []float64{0.6, 0.3}, 2},
+		{"cdf above one", []float64{1}, []float64{1.5}, 1},
+	}
+	for _, c := range cases {
+		if _, err := KaplanMeierFromSteps(c.times, c.cdf, c.n); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
