@@ -1,7 +1,7 @@
 GO ?= go
 
 # Packages whose concurrency matters enough to gate on the race detector.
-RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate ./internal/serve ./internal/modelcache
+RACE_PKGS = ./internal/obs ./internal/selection ./internal/estimate ./internal/serve ./internal/modelcache ./internal/faults
 
 # Coverage floor (percent) enforced by `make cover` over ./internal/...
 COVER_FLOOR = 70
@@ -11,7 +11,7 @@ COVER_FLOOR = 70
 # regressions, not 10% jitter.
 BENCH_TOLERANCE = 0.5
 
-.PHONY: build vet test race lint cover bench bench-smoke bench-check bench-paper verify
+.PHONY: build vet test race chaos lint cover bench bench-smoke bench-check bench-paper verify
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,14 @@ test:
 
 race:
 	$(GO) test -race $(RACE_PKGS)
+
+# Fault-injection ("chaos") suite: the degraded-mode guarantees of the
+# serving stack — hot-reload rollback on corrupt snapshots, torn model
+# cache files, disk latency, mid-fit cancellation, reload under fire —
+# driven through internal/faults and run under the race detector.
+chaos:
+	$(GO) test -race ./internal/faults
+	$(GO) test -race -run 'Chaos|Reload|EpochFlush|Detached|RegistryClose' ./internal/serve
 
 # Formatting + static analysis. gofmt failures print the offending files and
 # fail; staticcheck runs when installed (CI installs it; local dev without

@@ -9,8 +9,14 @@
 //	freshd -load snapshots/bl-small -timeout 10s -max-inflight 8
 //
 // Endpoints: POST /v1/select, POST /v1/quality, GET /v1/sources,
-// GET /healthz, GET /metrics. A served selection is byte-identical to a
-// freshselect run over the same snapshot and options.
+// POST /v1/reload, GET /healthz, GET /metrics. A served selection is
+// byte-identical to a freshselect run over the same snapshot and options.
+//
+// When serving a persisted snapshot (-load), the daemon hot-reloads it on
+// SIGHUP or POST /v1/reload: the candidate is staged, validated and fitted
+// off to the side, then atomically swapped in without dropping in-flight
+// requests; any failure rolls back to the last-good generation, which
+// keeps serving.
 package main
 
 import (
@@ -41,6 +47,8 @@ func main() {
 		fitWork   = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential); models are byte-identical at any setting")
 		mcDir     = flag.String("modelcache.dir", "", "persistent model cache directory; a verified entry skips the startup fit (empty = disabled)")
 		pprofAddr = flag.String("pprof", "", "also serve pprof/expvar on this address (e.g. localhost:6060)")
+		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes; oversized POSTs are rejected with 413")
+		reloadTO  = flag.Duration("reload.timeout", 5*time.Minute, "bound on staging+fitting a hot-reloaded snapshot; on expiry the candidate is discarded")
 	)
 	flag.Parse()
 
@@ -68,6 +76,9 @@ func main() {
 		MaxCacheEntries: *cacheSize,
 		FitWorkers:      *fitWork,
 		ModelCacheDir:   *mcDir,
+		SnapshotDir:     *load,
+		ReloadTimeout:   *reloadTO,
+		MaxBodyBytes:    *maxBody,
 	})
 	if err != nil {
 		fatal(err)
@@ -75,6 +86,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// SIGHUP hot-reloads the snapshot (when -load points at one). The
+	// loop serializes naturally: Reload holds the server's reload lock.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			info, err := srv.Reload(ctx)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "freshd: reload failed, last-good generation kept: %v\n", err)
+				continue
+			}
+			if info.Swapped {
+				fmt.Fprintf(os.Stderr, "freshd: reloaded %s, now serving generation %d (digest %.12s)\n",
+					info.Dataset, info.Generation, info.Digest)
+			} else {
+				fmt.Fprintf(os.Stderr, "freshd: snapshot unchanged, generation %d kept\n", info.Generation)
+			}
+		}
+	}()
 
 	fmt.Fprintf(os.Stderr, "freshd: serving on %s\n", *addr)
 	if err := srv.ListenAndServe(ctx); err != nil {

@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsTransparent(t *testing.T) {
+	Reset()
+	if err := Inject("nowhere"); err != nil {
+		t.Fatalf("disarmed Inject: %v", err)
+	}
+	in := []byte("payload")
+	out, err := Read("nowhere", in)
+	if err != nil {
+		t.Fatalf("disarmed Read: %v", err)
+	}
+	if &out[0] != &in[0] {
+		t.Error("disarmed Read copied the buffer")
+	}
+	if Fired("nowhere") != 0 {
+		t.Error("disarmed site reports firings")
+	}
+}
+
+func TestErrAndTimes(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("s", Fault{Err: boom, Times: 2})
+	for i := 0; i < 2; i++ {
+		if err := Inject("s"); !errors.Is(err, boom) {
+			t.Fatalf("firing %d: %v", i, err)
+		}
+	}
+	if err := Inject("s"); err != nil {
+		t.Fatalf("exhausted fault still fires: %v", err)
+	}
+	if got := Fired("s"); got != 2 {
+		t.Errorf("Fired = %d, want 2", got)
+	}
+}
+
+func TestReadCorruptAndErr(t *testing.T) {
+	defer Reset()
+	Set("r", Fault{Corrupt: func(b []byte) []byte { return append([]byte("X"), b...) }})
+	out, err := Read("r", []byte("abc"))
+	if err != nil || string(out) != "Xabc" {
+		t.Fatalf("corrupt read: %q, %v", out, err)
+	}
+
+	boom := errors.New("disk gone")
+	Set("r", Fault{Err: boom})
+	if _, err := Read("r", []byte("abc")); !errors.Is(err, boom) {
+		t.Fatalf("err read: %v", err)
+	}
+}
+
+func TestDelay(t *testing.T) {
+	defer Reset()
+	Set("d", Fault{Delay: 30 * time.Millisecond, Times: 1})
+	t0 := time.Now()
+	if err := Inject("d"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed < 30*time.Millisecond {
+		t.Errorf("delay fault returned after %v", elapsed)
+	}
+}
+
+// TestConcurrentTake exercises the seam from many goroutines (the race
+// workload): Times must be an exact budget even under contention.
+func TestConcurrentTake(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("c", Fault{Err: boom, Times: 10})
+	var hits atomic32
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				if Inject("c") != nil {
+					hits.add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := hits.load(); got != 10 {
+		t.Errorf("fault fired %d times, want exactly 10", got)
+	}
+	if Fired("c") != 10 {
+		t.Errorf("Fired = %d, want 10", Fired("c"))
+	}
+}
+
+type atomic32 struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (a *atomic32) add(d int) { a.mu.Lock(); a.n += d; a.mu.Unlock() }
+func (a *atomic32) load() int { a.mu.Lock(); defer a.mu.Unlock(); return a.n }

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 
 	"freshsource/internal/estimate"
+	"freshsource/internal/faults"
 	"freshsource/internal/source"
 	"freshsource/internal/stats"
 	"freshsource/internal/timeline"
@@ -58,6 +59,9 @@ func Save(path string, digest [32]byte, f *estimate.Fitted) error {
 	if f == nil {
 		return errors.New("modelcache: nil fitted snapshot")
 	}
+	if err := faults.Inject("modelcache.save"); err != nil {
+		return fmt.Errorf("modelcache: save: %w", err)
+	}
 	buf := make([]byte, 0, headerSize+trailerSize+encodedSizeHint(f))
 	buf = append(buf, magic...)
 	buf = binary.LittleEndian.AppendUint32(buf, Version)
@@ -98,6 +102,9 @@ func Load(path string) ([32]byte, *estimate.Fitted, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
 		return digest, nil, err
+	}
+	if buf, err = faults.Read("modelcache.load", buf); err != nil {
+		return digest, nil, fmt.Errorf("modelcache: read %s: %w", path, err)
 	}
 	if len(buf) < headerSize+trailerSize {
 		return digest, nil, fmt.Errorf("%w: %d bytes is shorter than header+trailer", ErrCorrupt, len(buf))

@@ -44,6 +44,25 @@ type Config struct {
 	// the registry consults it before fitting, so a restart over the same
 	// snapshot skips the statistical fits entirely. Empty disables it.
 	ModelCacheDir string
+
+	// SnapshotDir, when non-empty, is the snapio dataset directory the
+	// server can hot-reload from (SIGHUP or POST /v1/reload): the staged
+	// snapshot is validated and fitted off to the side, then atomically
+	// swapped in — or rolled back, keeping the last-good generation, on
+	// any failure. Empty means the dataset was generated in-process and
+	// reload is unavailable.
+	SnapshotDir string
+
+	// ReloadTimeout bounds the stage+fit phase of a hot reload; on expiry
+	// the candidate is discarded and the serving generation is kept.
+	// Defaults to 5m (a reload fits a full model set, so it is bounded
+	// like a cold start, not like a request).
+	ReloadTimeout time.Duration
+
+	// MaxBodyBytes caps a request body on the POST endpoints; an
+	// oversized body is rejected with 413 before it can exhaust memory.
+	// Defaults to 1 MiB.
+	MaxBodyBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -64,6 +83,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCacheEntries <= 0 {
 		c.MaxCacheEntries = 4096
+	}
+	if c.ReloadTimeout <= 0 {
+		c.ReloadTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
 	}
 	return c
 }

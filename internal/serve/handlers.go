@@ -2,12 +2,14 @@ package serve
 
 import (
 	"context"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 
 	"freshsource/internal/core"
+	"freshsource/internal/dataset"
 	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
 )
@@ -118,10 +120,20 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 
 // decodeBody strictly decodes a JSON request body (unknown fields are a 400:
 // a misspelled option silently falling back to a default would be worse).
-func decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
-	dec := json.NewDecoder(r.Body)
+// The body is capped at cfg.MaxBodyBytes: a public daemon must not let one
+// oversized POST allocate unboundedly, so past the cap the connection is
+// cut off and the client gets 413.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			obs.Counter("serve.body_too_large").Inc()
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
 		writeErr(w, http.StatusBadRequest, "bad request body: %v", err)
 		return false
 	}
@@ -157,15 +169,16 @@ func (req SelectRequest) withDefaults(defaultFuture int) SelectRequest {
 }
 
 // resolveTicks turns a request's explicit Tf or future count into validated
-// ticks inside the evaluation window (T0, Horizon).
-func (s *Server) resolveTicks(explicit []int64, future int) ([]timeline.Tick, error) {
+// ticks inside the evaluation window (T0, Horizon) of the generation's
+// snapshot.
+func (s *Server) resolveTicks(d *dataset.Dataset, explicit []int64, future int) ([]timeline.Tick, error) {
 	if len(explicit) > 0 {
 		out := make([]timeline.Tick, len(explicit))
 		for i, t := range explicit {
 			tk := timeline.Tick(t)
-			if tk <= s.d.T0 || tk >= s.d.Horizon() {
+			if tk <= d.T0 || tk >= d.Horizon() {
 				return nil, fmt.Errorf("tick %d outside the evaluation window (%d, %d]",
-					t, s.d.T0, s.d.Horizon()-1)
+					t, d.T0, d.Horizon()-1)
 			}
 			out[i] = tk
 		}
@@ -174,7 +187,7 @@ func (s *Server) resolveTicks(explicit []int64, future int) ([]timeline.Tick, er
 	if future <= 0 {
 		future = s.cfg.DefaultFuture
 	}
-	return SpreadTicks(s.d.T0, s.d.Horizon(), future), nil
+	return SpreadTicks(d.T0, d.Horizon(), future), nil
 }
 
 func validDivisors(divs []int) error {
@@ -200,10 +213,14 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req SelectRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
 	req = req.withDefaults(s.cfg.DefaultFuture)
+
+	// One consistent generation per request: a concurrent hot reload must
+	// not change the snapshot or registry under our feet mid-handler.
+	gen := s.current()
 
 	switch core.Algorithm(req.Algorithm) {
 	case core.Greedy, core.MaxSub, core.GRASP, core.LazyGreedy, core.Budgeted:
@@ -211,7 +228,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "unknown algorithm %q", req.Algorithm)
 		return
 	}
-	if _, err := MakeGain(req.Gain, req.Metric, s.d.World.NumEntities()); err != nil {
+	if _, err := MakeGain(req.Gain, req.Metric, gen.d.World.NumEntities()); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -223,7 +240,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "budget %g outside [0, 1]", req.Budget)
 		return
 	}
-	ticks, err := s.resolveTicks(req.Ticks, req.Future)
+	ticks, err := s.resolveTicks(gen.d, req.Ticks, req.Future)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -239,7 +256,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if body, ok := s.reg.CachedResult(string(key)); ok {
+	if body, ok := gen.reg.CachedResult(string(key)); ok {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
@@ -247,7 +264,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	prob, err := s.reg.Problem(ctx, req.Divisors, req.Gain, req.Metric, req.Budget, ticks)
+	prob, err := gen.reg.Problem(ctx, req.Divisors, req.Gain, req.Metric, req.Budget, ticks)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -279,7 +296,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	body = append(body, '\n')
-	s.reg.PutResult(string(key), body)
+	gen.reg.PutResult(string(key), body)
 	writeBody(w, http.StatusOK, body)
 }
 
@@ -298,14 +315,15 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req QualityRequest
-	if !decodeBody(w, r, &req) {
+	if !s.decodeBody(w, r, &req) {
 		return
 	}
+	gen := s.current()
 	if err := validDivisors(req.Divisors); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ticks, err := s.resolveTicks(req.Ticks, req.Future)
+	ticks, err := s.resolveTicks(gen.d, req.Ticks, req.Future)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -314,7 +332,7 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 	defer cancel()
 
-	tr, err := s.reg.Trained(ctx, req.Divisors)
+	tr, err := gen.reg.Trained(ctx, req.Divisors)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -325,7 +343,7 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	st, tr, err := s.reg.State(ctx, req.Divisors, req.Set)
+	st, tr, err := gen.reg.State(ctx, req.Divisors, req.Set)
 	if err != nil {
 		s.solveError(w, err)
 		return
@@ -363,24 +381,32 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
+	d := s.current().d
 	resp := SourcesResponse{
-		Dataset:     s.d.Name,
-		T0:          int64(s.d.T0),
-		Horizon:     int64(s.d.Horizon()),
-		NumEntities: s.d.World.NumEntities(),
-		Sources:     make([]SourceInfo, len(s.d.Sources)),
+		Dataset:     d.Name,
+		T0:          int64(d.T0),
+		Horizon:     int64(d.Horizon()),
+		NumEntities: d.World.NumEntities(),
+		Sources:     make([]SourceInfo, len(d.Sources)),
 	}
-	sizes := s.d.SizeAt(s.d.T0)
-	for i, src := range s.d.Sources {
+	sizes := d.SizeAt(d.T0)
+	for i, src := range d.Sources {
 		resp.Sources[i] = SourceInfo{Index: i, Name: src.Name(), SizeAtT0: sizes[i]}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz reports liveness plus the serving generation: its id
+// (bumped by every successful reload swap) and snapshot digest, so an
+// operator can tell from the outside whether a rolled snapshot actually
+// took effect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]string{
-		"status":  "ok",
-		"dataset": s.d.Name,
+	gen := s.current()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"dataset":    gen.d.Name,
+		"generation": gen.id,
+		"digest":     hex.EncodeToString(gen.digest[:]),
 	})
 }
 

@@ -10,6 +10,7 @@ import (
 	"freshsource/internal/core"
 	"freshsource/internal/dataset"
 	"freshsource/internal/estimate"
+	"freshsource/internal/faults"
 	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
@@ -42,6 +43,15 @@ type Registry struct {
 	fitWorkers int
 	mc         *modelcache.Cache
 
+	// fitCtx scopes every fit this registry runs. Fits are detached from
+	// the requests that trigger them — a request whose deadline fires
+	// while a fit is in flight abandons the wait, but the fit itself runs
+	// to completion and is cached for everyone else. Only Close (the
+	// registry being retired: server shutdown, or a reload candidate
+	// being rolled back) cancels fits in flight.
+	fitCtx    context.Context
+	fitCancel context.CancelFunc
+
 	mu       sync.Mutex
 	trained  map[string]*trainedEntry
 	problems map[string]*core.Problem
@@ -49,31 +59,43 @@ type Registry struct {
 	results  map[string][]byte
 }
 
-// trainedEntry is a fit-once slot: the first requester fits, everyone else
-// waits on ready.
+// trainedEntry is a fit-once slot: the first requester starts a detached
+// fit, everyone (including the first requester) waits on ready.
 type trainedEntry struct {
 	ready chan struct{}
 	tr    *core.Trained
 	err   error
 }
 
-// NewRegistry builds an empty registry over the snapshot. fitWorkers
-// bounds the model-fitting pool (0 = GOMAXPROCS); mc, when non-nil, is
-// the persistent model cache consulted before any fit — a verified disk
-// hit skips the statistical fitting entirely, which is what makes a
-// restart over an unchanged snapshot fast.
-func NewRegistry(d *dataset.Dataset, maxEntries, fitWorkers int, mc *modelcache.Cache) *Registry {
+// NewRegistry builds an empty registry over the snapshot. base scopes the
+// registry's lifetime: fits in flight are canceled when it is canceled (or
+// when Close is called). fitWorkers bounds the model-fitting pool (0 =
+// GOMAXPROCS); mc, when non-nil, is the persistent model cache consulted
+// before any fit — a verified disk hit skips the statistical fitting
+// entirely, which is what makes a restart over an unchanged snapshot fast.
+func NewRegistry(base context.Context, d *dataset.Dataset, maxEntries, fitWorkers int, mc *modelcache.Cache) *Registry {
+	if base == nil {
+		base = context.Background()
+	}
+	ctx, cancel := context.WithCancel(base)
 	return &Registry{
 		d:          d,
 		max:        maxEntries,
 		fitWorkers: fitWorkers,
 		mc:         mc,
+		fitCtx:     ctx,
+		fitCancel:  cancel,
 		trained:    make(map[string]*trainedEntry),
 		problems:   make(map[string]*core.Problem),
 		states:     make(map[string]*estimate.SetState),
 		results:    make(map[string][]byte),
 	}
 }
+
+// Close retires the registry, canceling any fits in flight. Waiters on a
+// canceled fit get its cancellation error; cached entries remain readable
+// (in-flight requests on a swapped-out generation finish normally).
+func (r *Registry) Close() { r.fitCancel() }
 
 // DivKey canonicalizes a divisor list. Order is preserved: candidate
 // numbering depends on it, exactly as freshselect's -divisors flag.
@@ -89,49 +111,64 @@ func DivKey(divisors []int) string {
 }
 
 // Trained returns the fitted models for a divisor configuration, fitting on
-// first use. The fit runs under ctx (a fired deadline aborts it); a failed
-// fit is not cached, so the next request retries.
+// first use. The fit itself runs detached, under the registry's lifecycle
+// context rather than ctx: one request's fired deadline must not poison the
+// shared fit for every other waiter queued on it. ctx only bounds this
+// caller's wait — on expiry the caller gets its own ctx.Err() while the fit
+// continues and is cached. A failed fit is not cached, so the next request
+// retries.
 func (r *Registry) Trained(ctx context.Context, divisors []int) (*core.Trained, error) {
 	key := DivKey(divisors)
 	r.mu.Lock()
-	if e, ok := r.trained[key]; ok {
-		r.mu.Unlock()
-		<-e.ready
-		if e.err != nil {
-			return nil, e.err
+	e, ok := r.trained[key]
+	if !ok {
+		e = &trainedEntry{ready: make(chan struct{})}
+		if len(r.trained) >= r.max {
+			r.trained = make(map[string]*trainedEntry)
+			obs.Counter("serve.registry.evictions").Inc()
 		}
-		obs.Counter("serve.registry.trained_hits").Inc()
-		return e.tr, nil
+		r.trained[key] = e
+		go r.fit(key, e, divisors)
 	}
-	e := &trainedEntry{ready: make(chan struct{})}
-	if len(r.trained) >= r.max {
-		r.trained = make(map[string]*trainedEntry)
-		obs.Counter("serve.registry.evictions").Inc()
-	}
-	r.trained[key] = e
 	r.mu.Unlock()
-	obs.Counter("serve.registry.trained_misses").Inc()
+	if ok {
+		obs.Counter("serve.registry.trained_hits").Inc()
+	} else {
+		obs.Counter("serve.registry.trained_misses").Inc()
+	}
 
+	select {
+	case <-e.ready:
+		return e.tr, e.err
+	case <-ctx.Done():
+		obs.Counter("serve.registry.trained_abandoned").Inc()
+		return nil, ctx.Err()
+	}
+}
+
+// fit runs the detached model fit for one trained entry and publishes the
+// outcome by closing ready. A failed entry is removed from the map (if the
+// map still holds it — an epoch flush may have dropped it already), so the
+// next request refits.
+func (r *Registry) fit(key string, e *trainedEntry, divisors []int) {
+	defer close(e.ready)
 	opt := core.TrainOptions{FreqDivisors: divisors, FitWorkers: r.fitWorkers}
-	var tr *core.Trained
-	var err error
-	if r.mc != nil {
+	if err := faults.Inject("serve.fit"); err != nil {
+		e.err = fmt.Errorf("fit %q: %w", key, err)
+	} else if r.mc != nil {
 		var status modelcache.Status
-		tr, status, err = r.mc.LoadOrFit(ctx, r.d, opt)
+		e.tr, status, e.err = r.mc.LoadOrFit(r.fitCtx, r.d, opt)
 		obs.Counter("serve.registry.modelcache_" + status.String()).Inc()
 	} else {
-		tr, err = core.TrainContext(ctx, r.d.World, r.d.Sources, r.d.T0, opt)
+		e.tr, e.err = core.TrainContext(r.fitCtx, r.d.World, r.d.Sources, r.d.T0, opt)
 	}
-	e.tr, e.err = tr, err
-	if err != nil {
+	if e.err != nil {
 		r.mu.Lock()
 		if r.trained[key] == e {
 			delete(r.trained, key)
 		}
 		r.mu.Unlock()
 	}
-	close(e.ready)
-	return tr, err
 }
 
 // Problem returns the assembled selection problem for (divisors, gain,

@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"freshsource/internal/modelcache"
+	"freshsource/internal/obs"
+	"freshsource/internal/snapio"
+)
+
+// ErrNotReloadable reports a reload request on a server that has no
+// snapshot directory to reload from (it serves an in-process generated
+// dataset, which has no on-disk successor).
+var ErrNotReloadable = errors.New("serve: no snapshot directory configured; reload unavailable")
+
+// ReloadInfo describes the outcome of a successful Reload.
+type ReloadInfo struct {
+	// Generation is the serving generation after the reload (unchanged
+	// when Swapped is false).
+	Generation uint64 `json:"generation"`
+	// Swapped reports whether a new generation was installed; false means
+	// the staged snapshot's digest matched the serving one, so the warm
+	// registry was kept.
+	Swapped bool `json:"swapped"`
+	// Dataset and Digest identify the serving snapshot after the reload.
+	Dataset string `json:"dataset"`
+	Digest  string `json:"digest"`
+}
+
+// Reload picks up a changed snapshot without restarting the daemon. The
+// lifecycle is stage → validate → fit → swap, and it is atomic from the
+// traffic's point of view:
+//
+//	stage     re-read cfg.SnapshotDir through snapio (nothing shared with
+//	          the serving generation)
+//	validate  structural checks plus the modelcache digest of the staged
+//	          data; an unchanged digest ends the reload early, keeping the
+//	          warm registry (Swapped=false)
+//	fit       pre-fit the base models on a candidate registry (through the
+//	          persistent model cache when configured), bounded by ctx
+//	swap      atomically publish the candidate generation; in-flight
+//	          requests finish on the generation they started with
+//
+// Any failure — unreadable or corrupt snapshot, fit error, fired ctx —
+// rolls back: the candidate is discarded, the last-good generation keeps
+// serving, and the error is reported to the caller only. Reloads are
+// serialized; concurrent SIGHUP and /v1/reload triggers queue.
+//
+// Counters: serve.reload.{attempts,success,unchanged,failures}; the
+// serving generation id is the serve.reload.generation gauge and is also
+// reported by /healthz.
+func (s *Server) Reload(ctx context.Context) (ReloadInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+
+	obs.Counter("serve.reload.attempts").Inc()
+	sp := obs.Start("serve.reload.seconds")
+	defer sp.End()
+
+	cur := s.current()
+	if s.cfg.SnapshotDir == "" {
+		obs.Counter("serve.reload.failures").Inc()
+		return ReloadInfo{}, ErrNotReloadable
+	}
+
+	// Stage + validate: a broken snapshot must be rejected before any
+	// serving state is touched.
+	d, err := snapio.Read(s.cfg.SnapshotDir)
+	if err == nil {
+		err = validateDataset(d)
+	}
+	if err != nil {
+		obs.Counter("serve.reload.failures").Inc()
+		return ReloadInfo{}, fmt.Errorf("serve: reload: stage %s: %w", s.cfg.SnapshotDir, err)
+	}
+
+	// An unchanged snapshot is detected by digest before paying for a
+	// fit: the warm registry survives a no-op reload.
+	if modelcache.Digest(d.World, d.Sources) == cur.digest {
+		obs.Counter("serve.reload.unchanged").Inc()
+		return s.info(cur, false), nil
+	}
+
+	// Fit the candidate, then swap. A fit failure (or a canceled ctx)
+	// discards the candidate; the serving generation is never touched.
+	cand, err := s.buildGeneration(ctx, cur.id+1, d)
+	if err != nil {
+		obs.Counter("serve.reload.failures").Inc()
+		return ReloadInfo{}, fmt.Errorf("serve: reload: fit: %w", err)
+	}
+	s.install(cand)
+	obs.Counter("serve.reload.success").Inc()
+	return s.info(cand, true), nil
+}
+
+func (s *Server) info(g *generation, swapped bool) ReloadInfo {
+	return ReloadInfo{
+		Generation: g.id,
+		Swapped:    swapped,
+		Dataset:    g.d.Name,
+		Digest:     hex.EncodeToString(g.digest[:]),
+	}
+}
+
+// handleReload is the admin trigger for Reload: POST /v1/reload. It is
+// deliberately outside the admission gate — an operator must be able to
+// roll a snapshot while the server is saturated — and bounded by
+// cfg.ReloadTimeout rather than the request timeout.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.ReloadTimeout)
+	defer cancel()
+	info, err := s.Reload(ctx)
+	switch {
+	case errors.Is(err, ErrNotReloadable):
+		writeErr(w, http.StatusConflict, "%v", err)
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}

@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/obs"
+	"freshsource/internal/snapio"
+)
+
+// altDataset generates a dataset that differs from the fixture (different
+// seed), so its modelcache digest differs and a reload must swap.
+func altDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultBLConfig()
+	cfg.Locations = 8
+	cfg.Categories = 5
+	cfg.NumSources = 10
+	cfg.Horizon = 220
+	cfg.T0 = 120
+	cfg.Scale = 0.4
+	cfg.Seed = 7
+	d, err := dataset.GenerateBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Name = "alt"
+	return d
+}
+
+func getJSON(t testing.TB, h http.Handler, path string, v any) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	if v != nil {
+		if err := json.Unmarshal(rec.Body.Bytes(), v); err != nil {
+			t.Fatalf("%s: %v (%s)", path, err, rec.Body.String())
+		}
+	}
+	return rec
+}
+
+// TestReloadSwapAndUnchanged walks the full reload lifecycle over the
+// admin endpoint: a changed snapshot swaps the generation, an unchanged
+// one keeps the warm registry, and /healthz reports the generation id
+// throughout.
+func TestReloadSwapAndUnchanged(t *testing.T) {
+	dir := t.TempDir()
+	d := testDataset(t)
+	if err := snapio.Write(dir, d); err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(t, Config{SnapshotDir: dir})
+	defer srv.Close()
+
+	var health struct {
+		Generation uint64 `json:"generation"`
+		Digest     string `json:"digest"`
+	}
+	getJSON(t, srv.Handler(), "/healthz", &health)
+	if health.Generation != 1 || health.Digest == "" {
+		t.Fatalf("startup healthz: %+v", health)
+	}
+
+	// Unchanged snapshot: no swap, warm registry kept.
+	unchanged0 := counter("serve.reload.unchanged")
+	rec := postJSON(t, srv.Handler(), "/v1/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("no-op reload: %d %s", rec.Code, rec.Body.String())
+	}
+	var info ReloadInfo
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Swapped || info.Generation != 1 {
+		t.Errorf("no-op reload: %+v, want unswapped generation 1", info)
+	}
+	if counter("serve.reload.unchanged")-unchanged0 != 1 {
+		t.Error("no-op reload not counted as unchanged")
+	}
+
+	// Changed snapshot: stage, fit, swap; the serving dataset follows.
+	if err := snapio.Write(dir, altDataset(t)); err != nil {
+		t.Fatal(err)
+	}
+	success0 := counter("serve.reload.success")
+	rec = postJSON(t, srv.Handler(), "/v1/reload", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload: %d %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Swapped || info.Generation != 2 || info.Dataset != "alt" {
+		t.Errorf("reload: %+v, want swapped generation 2 of alt", info)
+	}
+	if counter("serve.reload.success")-success0 != 1 {
+		t.Error("swap not counted as success")
+	}
+
+	getJSON(t, srv.Handler(), "/healthz", &health)
+	if health.Generation != 2 {
+		t.Errorf("healthz generation after swap = %d, want 2", health.Generation)
+	}
+	var src SourcesResponse
+	getJSON(t, srv.Handler(), "/v1/sources", &src)
+	if src.Dataset != "alt" {
+		t.Errorf("sources dataset after swap = %q, want alt", src.Dataset)
+	}
+	if rec := postJSON(t, srv.Handler(), "/v1/select", `{}`); rec.Code != http.StatusOK {
+		t.Errorf("select on the new generation: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestReloadUnavailable: a server over an in-process generated dataset has
+// nothing to reload from; the endpoint must say so without touching the
+// serving state.
+func TestReloadUnavailable(t *testing.T) {
+	srv := newServer(t, Config{})
+	defer srv.Close()
+
+	rec := postJSON(t, srv.Handler(), "/v1/reload", "")
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("reload without snapshot dir: %d %s, want 409", rec.Code, rec.Body.String())
+	}
+	if srv.Generation() != 1 {
+		t.Errorf("generation moved to %d on a refused reload", srv.Generation())
+	}
+
+	get := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(get, httptest.NewRequest(http.MethodGet, "/v1/reload", nil))
+	if get.Code != http.StatusMethodNotAllowed {
+		t.Errorf("GET reload: %d, want 405", get.Code)
+	}
+}
+
+// TestBodyCap413: an oversized request body must be rejected with a JSON
+// 413 instead of being buffered into memory.
+func TestBodyCap413(t *testing.T) {
+	srv := newServer(t, Config{MaxBodyBytes: 256})
+	defer srv.Close()
+
+	big := `{"ticks":[` + strings.Repeat("121,", 200) + `121]}`
+	if len(big) <= 256 {
+		t.Fatal("test body not oversized")
+	}
+	rec := postJSON(t, srv.Handler(), "/v1/select", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized select: %d %s, want 413", rec.Code, rec.Body.String())
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &e); err != nil || !strings.Contains(e.Error, "256") {
+		t.Errorf("413 body should be JSON naming the limit: %s", rec.Body.String())
+	}
+	if rec := postJSON(t, srv.Handler(), "/v1/quality", big); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized quality: %d, want 413", rec.Code)
+	}
+
+	// A small request still works under the cap.
+	if rec := postJSON(t, srv.Handler(), "/v1/select", `{}`); rec.Code != http.StatusOK {
+		t.Errorf("small body under cap: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+// TestRetryAfterTracksLatency: the 429 Retry-After must follow the
+// observed p95 of the heavy routes — proportional backoff, clamped to
+// [1, 60] seconds.
+func TestRetryAfterTracksLatency(t *testing.T) {
+	obs.Enable()
+	srv := newServer(t, Config{MaxInflight: 1})
+	defer srv.Close()
+	if !srv.gate.TryAcquire() {
+		t.Fatal("gate refused below capacity")
+	}
+	defer srv.gate.Release()
+
+	saturated := func() int {
+		t.Helper()
+		rec := postJSON(t, srv.Handler(), "/v1/select", `{}`)
+		if rec.Code != http.StatusTooManyRequests {
+			t.Fatalf("saturated select: %d", rec.Code)
+		}
+		n, err := strconv.Atoi(rec.Header().Get("Retry-After"))
+		if err != nil {
+			t.Fatalf("Retry-After %q not an integer", rec.Header().Get("Retry-After"))
+		}
+		return n
+	}
+
+	if got := saturated(); got < 1 || got > 60 {
+		t.Errorf("baseline Retry-After = %d, want within [1, 60]", got)
+	}
+
+	// Drag the select p95 to ~7.2s: the advice must follow it upward.
+	h := obs.Active().Histogram("http.select.seconds")
+	for i := 0; i < 1000; i++ {
+		h.Observe(7.2)
+	}
+	if got := saturated(); got < 6 || got > 8 {
+		t.Errorf("Retry-After with p95≈7.2s = %d, want ≈7–8", got)
+	}
+
+	// Absurd latencies clamp at 60s — the advice never tells a client to
+	// go away for minutes.
+	for i := 0; i < 20000; i++ {
+		h.Observe(120)
+	}
+	if got := saturated(); got != 60 {
+		t.Errorf("Retry-After with p95≈120s = %d, want clamped 60", got)
+	}
+}

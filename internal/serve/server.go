@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
+	"sync"
 	"sync/atomic"
 
 	"freshsource/internal/dataset"
@@ -13,31 +15,52 @@ import (
 	"freshsource/internal/obs"
 )
 
-// Server is a freshd instance: one snapshot, a warm model registry, an
-// admission gate and the HTTP surface.
+// generation is one immutable serving epoch: a snapshot, the warm registry
+// fitted over it, and identity metadata. Handlers load the current
+// generation once at request start, so a hot reload never changes the data
+// under an in-flight request — the old generation stays alive (and its
+// caches usable) until the last request holding it returns.
+type generation struct {
+	id     uint64
+	d      *dataset.Dataset
+	reg    *Registry
+	digest [32]byte
+}
+
+// Server is a freshd instance: a hot-swappable (snapshot, registry)
+// generation, an admission gate and the HTTP surface.
 //
 // Endpoints:
 //
 //	POST /v1/select   run a selection algorithm (gated, timed out, cached)
 //	POST /v1/quality  evaluate an explicit candidate set (gated, timed out)
 //	GET  /v1/sources  describe the loaded snapshot
-//	GET  /healthz     liveness
+//	POST /v1/reload   stage, validate, fit and swap in a new snapshot
+//	GET  /healthz     liveness + serving generation
 //	GET  /metrics     obs registry snapshot as JSON
 type Server struct {
 	cfg  Config
-	d    *dataset.Dataset
-	reg  *Registry
+	mc   *modelcache.Cache
+	gen  atomic.Pointer[generation]
 	gate *Gate
 	mux  *http.ServeMux
 	addr atomic.Value // string; bound address once serving
+
+	// life scopes every registry's detached fits; stop cancels them all
+	// on shutdown.
+	life context.Context
+	stop context.CancelFunc
+
+	// reloadMu serializes reloads (SIGHUP and /v1/reload can race).
+	reloadMu sync.Mutex
 }
 
 // New builds a server over the snapshot and pre-fits the base models, so
 // the first request pays no training cost. Telemetry is enabled globally:
 // a daemon always wants /metrics live.
 func New(d *dataset.Dataset, cfg Config) (*Server, error) {
-	if d == nil || d.World == nil || len(d.Sources) == 0 {
-		return nil, errors.New("serve: empty dataset")
+	if err := validateDataset(d); err != nil {
+		return nil, err
 	}
 	cfg = cfg.withDefaults()
 	obs.Enable()
@@ -49,31 +72,81 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("serve: model cache: %w", err)
 		}
 	}
+	life, stop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:  cfg,
-		d:    d,
-		reg:  NewRegistry(d, cfg.MaxCacheEntries, cfg.FitWorkers, mc),
+		mc:   mc,
 		gate: NewGate(cfg.MaxInflight),
+		life: life,
+		stop: stop,
 	}
-	if _, err := s.reg.Trained(context.Background(), nil); err != nil {
+	gen, err := s.buildGeneration(context.Background(), 1, d)
+	if err != nil {
+		stop()
 		return nil, fmt.Errorf("serve: startup fit: %w", err)
 	}
+	s.install(gen)
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/select", obs.Instrument("select", s.gated(http.HandlerFunc(s.handleSelect))))
 	s.mux.Handle("/v1/quality", obs.Instrument("quality", s.gated(http.HandlerFunc(s.handleQuality))))
 	s.mux.Handle("/v1/sources", obs.Instrument("sources", http.HandlerFunc(s.handleSources)))
+	s.mux.Handle("/v1/reload", obs.Instrument("reload", http.HandlerFunc(s.handleReload)))
 	s.mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("/metrics", obs.Instrument("metrics", http.HandlerFunc(s.handleMetrics)))
 	return s, nil
 }
 
+func validateDataset(d *dataset.Dataset) error {
+	if d == nil || d.World == nil || len(d.Sources) == 0 {
+		return errors.New("serve: empty dataset")
+	}
+	if d.T0 < 0 || d.T0 >= d.Horizon() {
+		return fmt.Errorf("serve: t0 %d outside [0, horizon %d)", d.T0, d.Horizon())
+	}
+	return nil
+}
+
+// buildGeneration stages a complete generation over d: digest, registry,
+// and the pre-fit of the base models under ctx. On failure the candidate
+// registry is closed and nothing is published.
+func (s *Server) buildGeneration(ctx context.Context, id uint64, d *dataset.Dataset) (*generation, error) {
+	g := &generation{
+		id:     id,
+		d:      d,
+		reg:    NewRegistry(s.life, d, s.cfg.MaxCacheEntries, s.cfg.FitWorkers, s.mc),
+		digest: modelcache.Digest(d.World, d.Sources),
+	}
+	if _, err := g.reg.Trained(ctx, nil); err != nil {
+		g.reg.Close()
+		return nil, err
+	}
+	return g, nil
+}
+
+// install publishes a generation as current.
+func (s *Server) install(g *generation) {
+	s.gen.Store(g)
+	obs.Gauge("serve.reload.generation").Set(float64(g.id))
+}
+
+// current returns the serving generation. Handlers call it exactly once
+// per request and thread the result, so each request sees one consistent
+// (snapshot, registry) pair across a concurrent swap.
+func (s *Server) current() *generation { return s.gen.Load() }
+
+// Generation returns the current serving generation id (1 at startup,
+// incremented by every successful reload swap).
+func (s *Server) Generation() uint64 { return s.current().id }
+
 // gated wraps a heavy endpoint behind the admission gate: saturation is an
-// immediate 429, never a queue.
+// immediate 429, never a queue. Retry-After is derived from the observed
+// p95 latency of the heavy routes, so clients back off proportionally to
+// how long a slot is actually held.
 func (s *Server) gated(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if !s.gate.TryAcquire() {
-			w.Header().Set("Retry-After", "1")
+			w.Header().Set("Retry-After", retryAfter())
 			writeErr(w, http.StatusTooManyRequests,
 				"server saturated (%d requests in flight)", s.gate.Capacity())
 			return
@@ -83,11 +156,40 @@ func (s *Server) gated(next http.Handler) http.Handler {
 	})
 }
 
+// retryAfter estimates how long a saturated client should wait before
+// retrying: the worst observed p95 across the heavy routes, rounded up to
+// whole seconds and clamped to [1, 60]. With no latency data yet (or
+// telemetry off) it falls back to 1s.
+func retryAfter() string {
+	reg := obs.Active()
+	if reg == nil {
+		return "1"
+	}
+	p95 := reg.Histogram("http.select.seconds").Quantile(0.95)
+	if q := reg.Histogram("http.quality.seconds").Quantile(0.95); q > p95 {
+		p95 = q
+	}
+	secs := int(math.Ceil(p95))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return fmt.Sprintf("%d", secs)
+}
+
 // Handler returns the HTTP surface (for httptest and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Registry exposes the warm registry (for tests and diagnostics).
-func (s *Server) Registry() *Registry { return s.reg }
+// Registry exposes the current generation's warm registry (for tests and
+// diagnostics).
+func (s *Server) Registry() *Registry { return s.current().reg }
+
+// Close retires the server's background work: fits in flight on every
+// live generation are canceled. Serve calls it after the drain; tests
+// that never Serve may call it directly.
+func (s *Server) Close() { s.stop() }
 
 // Addr returns the bound listen address once ListenAndServe is up ("" before).
 func (s *Server) Addr() string {
@@ -125,7 +227,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 	obs.Counter("serve.shutdowns").Inc()
 	sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 	defer cancel()
-	if err := srv.Shutdown(sctx); err != nil {
+	err := srv.Shutdown(sctx)
+	s.Close()
+	if err != nil {
 		return fmt.Errorf("serve: drain incomplete: %w", err)
 	}
 	return nil

@@ -27,10 +27,17 @@ import (
 	"path/filepath"
 
 	"freshsource/internal/dataset"
+	"freshsource/internal/faults"
 	"freshsource/internal/source"
 	"freshsource/internal/timeline"
 	"freshsource/internal/world"
 )
+
+// faultSite is the fault-injection seam name for snapshot reads: every
+// file and line loaded by Read passes through it, so chaos tests can
+// simulate slow disks, hard read errors, and torn/corrupted snapshot
+// files without touching the files themselves.
+const faultSite = "snapio.read"
 
 const (
 	manifestFile = "manifest.json"
@@ -233,6 +240,9 @@ func readJSON(path string, v interface{}) error {
 	if err != nil {
 		return err
 	}
+	if b, err = faults.Read(faultSite, b); err != nil {
+		return fmt.Errorf("snapio: read %s: %w", path, err)
+	}
 	return json.Unmarshal(b, v)
 }
 
@@ -268,6 +278,10 @@ func readLines(path string, fn func(line []byte) error) error {
 		line := sc.Bytes()
 		if len(line) == 0 {
 			continue
+		}
+		line, err := faults.Read(faultSite, line)
+		if err != nil {
+			return fmt.Errorf("snapio: read %s: %w", path, err)
 		}
 		if err := fn(line); err != nil {
 			return err
