@@ -11,7 +11,22 @@ COVER_FLOOR = 70
 # regressions, not 10% jitter.
 BENCH_TOLERANCE = 0.5
 
-.PHONY: build vet test race chaos lint cover bench bench-smoke bench-check bench-paper verify
+# Allowed fractional slowdown in `make servebench-check`. Even more
+# generous: serving quantiles come from a short live load against a
+# spawned daemon, so the gate only catches order-of-magnitude blowups.
+SERVE_TOLERANCE = 3.0
+
+# Build identity stamped into the binaries ( /healthz and the freshbench
+# run header report it).
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
+LDFLAGS  = -ldflags "-X freshsource/internal/version.Version=$(VERSION) -X freshsource/internal/version.Commit=$(COMMIT)"
+
+# The deterministic serving workload behind servebench / servebench-check.
+SERVEBENCH_ARGS = -spawn -duration 5s -rps 80 -concurrency 8 -seed 1 \
+	-mix "select=5,quality=3,reload=1,freshness=1"
+
+.PHONY: build vet test race chaos lint cover bench bench-smoke bench-check bench-paper servebench servebench-smoke servebench-check verify
 
 build:
 	$(GO) build ./...
@@ -80,6 +95,24 @@ bench-check:
 # Scaled-down paper-experiment benches at the repo root.
 bench-paper:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
+
+# Serving benchmark: freshbench drives a spawned freshd with the
+# deterministic mixed workload and writes BENCH_serving.json (per-endpoint
+# p50/p95/p99, 429/504/error rates, allocs/request). Refresh the committed
+# baseline with this target after intended serving changes.
+servebench:
+	$(GO) run $(LDFLAGS) ./cmd/freshbench $(SERVEBENCH_ARGS) -out BENCH_serving.json
+
+# Short freshbench pass: CI's compile-and-serve smoke gate.
+servebench-smoke:
+	$(GO) run $(LDFLAGS) ./cmd/freshbench -spawn -duration 2s -rps 40 > /dev/null
+
+# Serving-regression gate: a fresh load run diffed against the committed
+# BENCH_serving.json via the same benchjson -compare used for the solver
+# benchmarks.
+servebench-check:
+	$(GO) run $(LDFLAGS) ./cmd/freshbench $(SERVEBENCH_ARGS) | \
+		$(GO) run ./cmd/benchjson -compare BENCH_serving.json -tolerance $(SERVE_TOLERANCE)
 
 # Tier-1 verification: everything CI runs.
 verify: build vet test race

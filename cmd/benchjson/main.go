@@ -1,8 +1,11 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
-// record, computing the speedup of each accelerated variant against its
-// family's "seq" baseline (sub-benchmark naming Family/variant). The root
-// Makefile's bench target pipes the selection benchmarks through it to
-// produce BENCH_selection.json.
+// record (the internal/benchfmt schema), computing the speedup of each
+// accelerated variant against its family's "seq" baseline (sub-benchmark
+// naming Family/variant). The root Makefile's bench target pipes the
+// selection benchmarks through it to produce BENCH_selection.json; the
+// servebench target pipes freshbench's bench-format output through it
+// against BENCH_serving.json, whose serving extension (per-endpoint
+// quantiles, error rates) it carries along untouched.
 //
 // With -compare it additionally diffs the fresh run against a previously
 // committed report and exits non-zero when any shared benchmark slowed
@@ -12,149 +15,17 @@
 //
 //	go test -bench . ./internal/selection | benchjson -out BENCH_selection.json
 //	go test -bench . ./internal/selection | benchjson -compare BENCH_selection.json -tolerance 0.25
+//	freshbench -spawn -duration 5s | benchjson -compare BENCH_serving.json -tolerance 1.0
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
-	"io"
 	"os"
-	"regexp"
-	"strconv"
-	"strings"
+
+	"freshsource/internal/benchfmt"
 )
-
-// Benchmark is one parsed result line.
-type Benchmark struct {
-	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
-	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
-}
-
-// Speedup compares one variant against its family's seq baseline.
-type Speedup struct {
-	Family  string  `json:"family"`
-	Variant string  `json:"variant"`
-	SeqNs   float64 `json:"seq_ns_per_op"`
-	NsPerOp float64 `json:"ns_per_op"`
-	Speedup float64 `json:"speedup"`
-}
-
-// Report is the emitted document.
-type Report struct {
-	Context    map[string]string `json:"context"`
-	Benchmarks []Benchmark       `json:"benchmarks"`
-	Speedups   []Speedup         `json:"speedups"`
-}
-
-// Regression is one benchmark that slowed past the tolerance.
-type Regression struct {
-	Name  string
-	OldNs float64
-	NewNs float64
-	Ratio float64 // NewNs / OldNs
-	Bound float64 // 1 + tolerance
-}
-
-var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
-
-// parseBench scans `go test -bench` output into a report (context lines and
-// benchmark result lines; everything else is ignored).
-func parseBench(r io.Reader) (Report, error) {
-	rep := Report{Context: map[string]string{}}
-	sc := bufio.NewScanner(r)
-	for sc.Scan() {
-		line := sc.Text()
-		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
-			if v, ok := strings.CutPrefix(line, key+": "); ok {
-				rep.Context[key] = v
-			}
-		}
-		m := lineRe.FindStringSubmatch(line)
-		if m == nil {
-			continue
-		}
-		iters, _ := strconv.ParseInt(m[2], 10, 64)
-		ns, _ := strconv.ParseFloat(m[3], 64)
-		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
-		if m[4] != "" {
-			v, _ := strconv.ParseInt(m[4], 10, 64)
-			b.BytesPerOp = &v
-		}
-		if m[5] != "" {
-			v, _ := strconv.ParseInt(m[5], 10, 64)
-			b.AllocsPerOp = &v
-		}
-		rep.Benchmarks = append(rep.Benchmarks, b)
-	}
-	return rep, sc.Err()
-}
-
-// computeSpeedups fills rep.Speedups from the family baselines: Family/seq
-// (or Family/scratch for the estimator micro-benchmarks, which name the
-// from-scratch path that way).
-func computeSpeedups(rep *Report) {
-	base := map[string]float64{}
-	for _, b := range rep.Benchmarks {
-		fam, variant, ok := strings.Cut(b.Name, "/")
-		if !ok {
-			continue
-		}
-		if variant == "seq" || variant == "scratch" {
-			base[fam] = b.NsPerOp
-		}
-	}
-	for _, b := range rep.Benchmarks {
-		fam, variant, ok := strings.Cut(b.Name, "/")
-		if !ok || variant == "seq" || variant == "scratch" {
-			continue
-		}
-		seq, ok := base[fam]
-		if !ok || b.NsPerOp <= 0 {
-			continue
-		}
-		rep.Speedups = append(rep.Speedups, Speedup{
-			Family:  fam,
-			Variant: variant,
-			SeqNs:   seq,
-			NsPerOp: b.NsPerOp,
-			Speedup: seq / b.NsPerOp,
-		})
-	}
-}
-
-// compareReports diffs the fresh run against a reference: every benchmark
-// present in both must satisfy new ≤ old·(1+tolerance). Benchmarks only in
-// the reference are returned as missing (reported, not fatal: renames and
-// removals shouldn't hard-fail CI); benchmarks only in the fresh run are
-// ignored.
-func compareReports(ref, fresh Report, tolerance float64) (regs []Regression, missing []string) {
-	freshNs := make(map[string]float64, len(fresh.Benchmarks))
-	for _, b := range fresh.Benchmarks {
-		freshNs[b.Name] = b.NsPerOp
-	}
-	bound := 1 + tolerance
-	for _, b := range ref.Benchmarks {
-		ns, ok := freshNs[b.Name]
-		if !ok {
-			missing = append(missing, b.Name)
-			continue
-		}
-		if b.NsPerOp <= 0 {
-			continue
-		}
-		if ratio := ns / b.NsPerOp; ratio > bound {
-			regs = append(regs, Regression{
-				Name: b.Name, OldNs: b.NsPerOp, NewNs: ns, Ratio: ratio, Bound: bound,
-			})
-		}
-	}
-	return regs, missing
-}
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
@@ -162,22 +33,22 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown per benchmark in compare mode")
 	flag.Parse()
 
-	rep, err := parseBench(os.Stdin)
+	rep, err := benchfmt.Parse(os.Stdin)
 	if err != nil {
 		fatal(err)
 	}
-	computeSpeedups(&rep)
+	benchfmt.ComputeSpeedups(&rep)
 
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
 		if err != nil {
 			fatal(err)
 		}
-		var ref Report
+		var ref benchfmt.Report
 		if err := json.Unmarshal(raw, &ref); err != nil {
 			fatal(fmt.Errorf("parsing %s: %w", *compare, err))
 		}
-		regs, missing := compareReports(ref, rep, *tolerance)
+		regs, missing := benchfmt.Compare(ref, rep, *tolerance)
 		for _, name := range missing {
 			fmt.Fprintf(os.Stderr, "benchjson: warning: %s in %s but absent from this run\n", name, *compare)
 		}

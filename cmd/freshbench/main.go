@@ -1,0 +1,554 @@
+// Command freshbench drives a live freshd with a deterministic mixed
+// workload and reports serving-side tail latency, rejection rates and
+// allocation pressure — the serving analogue of the solver benchmarks.
+//
+// Usage:
+//
+//	freshbench -target http://localhost:8080 -rps 100 -duration 30s
+//	freshbench -spawn -duration 5s -out BENCH_serving.json
+//
+// The workload is seeded: the same -seed, -mix, -tenants and -rps produce
+// the same request sequence, so two runs against the same build are
+// comparable. Results go to stdout as Go benchmark lines (one synthetic
+// benchmark per endpoint/quantile, parseable by benchjson for the CI
+// regression gate) and, with -out, as a BENCH_serving.json report carrying
+// the full per-endpoint breakdown.
+//
+// -spawn starts an in-process freshd over a compact generated snapshot on
+// an ephemeral port — the self-contained smoke mode used by `make
+// servebench`; -target points at any already-running daemon instead.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"freshsource/internal/benchfmt"
+	"freshsource/internal/dataset"
+	"freshsource/internal/obs"
+	"freshsource/internal/serve"
+	"freshsource/internal/snapio"
+	"freshsource/internal/version"
+)
+
+type benchConfig struct {
+	Target      string
+	Spawn       bool
+	Kind        string
+	Scale       float64
+	RPS         float64
+	Concurrency int
+	Duration    time.Duration
+	Mix         string
+	Tenants     int
+	Seed        int64
+	Timeout     time.Duration
+	Out         string
+}
+
+func main() {
+	var cfg benchConfig
+	flag.StringVar(&cfg.Target, "target", "", "base URL of a running freshd (e.g. http://localhost:8080)")
+	flag.BoolVar(&cfg.Spawn, "spawn", false, "spawn an in-process freshd over a compact generated snapshot instead of -target")
+	flag.StringVar(&cfg.Kind, "kind", "bl", "spawned dataset kind: bl or gdelt")
+	flag.Float64Var(&cfg.Scale, "scale", 0.4, "spawned dataset scale")
+	flag.Float64Var(&cfg.RPS, "rps", 50, "request rate to offer")
+	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "client workers issuing requests")
+	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "load duration")
+	flag.StringVar(&cfg.Mix, "mix", "select=6,quality=3,reload=1", "endpoint weights")
+	flag.IntVar(&cfg.Tenants, "tenants", 4, "distinct tenant workload shapes")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed")
+	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request client timeout")
+	flag.StringVar(&cfg.Out, "out", "", "write the full BENCH_serving.json report here")
+	flag.Parse()
+
+	if _, err := run(cfg, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "freshbench:", err)
+		os.Exit(1)
+	}
+}
+
+// parseMix turns "select=6,quality=3,reload=1" into weights. Unknown
+// endpoints are an error; at least one weight must be positive.
+func parseMix(s string) (map[string]int, error) {
+	known := map[string]bool{"select": true, "quality": true, "reload": true, "freshness": true}
+	weights := map[string]int{}
+	total := 0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, raw, ok := strings.Cut(part, "=")
+		if !ok || !known[name] {
+			return nil, fmt.Errorf("bad mix element %q (want endpoint=weight with endpoint in select/quality/reload/freshness)", part)
+		}
+		w, err := strconv.Atoi(raw)
+		if err != nil || w < 0 {
+			return nil, fmt.Errorf("bad mix weight %q", part)
+		}
+		weights[name] = w
+		total += w
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mix %q has no positive weight", s)
+	}
+	return weights, nil
+}
+
+// request is one generated unit of work.
+type request struct {
+	endpoint string // select|quality|reload|freshness
+	method   string
+	path     string
+	body     string
+}
+
+// workload deterministically generates the request stream: a seeded RNG
+// draws an endpoint from the mix and a tenant-specific shape for it. Every
+// tenant favors its own algorithm/future/set, so the server's warm caches
+// see a realistic multi-tenant hit pattern rather than one hot key.
+type workload struct {
+	rng        *rand.Rand
+	choices    []string // endpoint per weight unit
+	tenants    int
+	numSources int
+}
+
+func newWorkload(seed int64, weights map[string]int, tenants, numSources int) *workload {
+	var choices []string
+	for _, ep := range []string{"select", "quality", "reload", "freshness"} {
+		for i := 0; i < weights[ep]; i++ {
+			choices = append(choices, ep)
+		}
+	}
+	if tenants < 1 {
+		tenants = 1
+	}
+	return &workload{
+		rng:        rand.New(rand.NewSource(seed)),
+		choices:    choices,
+		tenants:    tenants,
+		numSources: numSources,
+	}
+}
+
+func (w *workload) next() request {
+	ep := w.choices[w.rng.Intn(len(w.choices))]
+	tenant := w.rng.Intn(w.tenants)
+	switch ep {
+	case "select":
+		algos := []string{"maxsub", "greedy", "lazygreedy"}
+		body := fmt.Sprintf(`{"algorithm":%q,"future":%d}`,
+			algos[tenant%len(algos)], 5+tenant%6)
+		return request{endpoint: ep, method: http.MethodPost, path: "/v1/select", body: body}
+	case "quality":
+		n := 1 + w.rng.Intn(3)
+		set := make([]string, n)
+		for i := range set {
+			set[i] = strconv.Itoa((tenant + i) % w.numSources)
+		}
+		body := fmt.Sprintf(`{"set":[%s],"future":%d}`, strings.Join(set, ","), 4+tenant%4)
+		return request{endpoint: ep, method: http.MethodPost, path: "/v1/quality", body: body}
+	case "freshness":
+		return request{endpoint: ep, method: http.MethodGet, path: "/v1/freshness"}
+	default:
+		return request{endpoint: ep, method: http.MethodPost, path: "/v1/reload", body: "{}"}
+	}
+}
+
+// outcome is one completed request, classified.
+type outcome struct {
+	endpoint string
+	dur      time.Duration
+	code     int
+	failed   bool // transport error, not an HTTP status
+}
+
+// run executes the whole benchmark: probe the target (or spawn one), offer
+// the paced load, and reduce the outcomes into the report.
+func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
+	if cfg.RPS <= 0 || cfg.Concurrency < 1 || cfg.Duration <= 0 {
+		return nil, fmt.Errorf("rps, concurrency and duration must be positive")
+	}
+	weights, err := parseMix(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+
+	target := cfg.Target
+	var shutdown func()
+	if cfg.Spawn {
+		if target != "" {
+			return nil, fmt.Errorf("-spawn and -target are mutually exclusive")
+		}
+		target, shutdown, err = spawnServer(cfg, stderr)
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+	}
+	if target == "" {
+		return nil, fmt.Errorf("need -target or -spawn")
+	}
+	target = strings.TrimRight(target, "/")
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// Run header: which build and snapshot is on the other side.
+	health, err := getJSON(client, target+"/healthz")
+	if err != nil {
+		return nil, fmt.Errorf("target %s not healthy: %w", target, err)
+	}
+	var sources struct {
+		Sources []struct{} `json:"sources"`
+	}
+	raw, err := getBody(client, target+"/v1/sources")
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(raw, &sources); err != nil {
+		return nil, err
+	}
+	numSources := len(sources.Sources)
+	if numSources == 0 {
+		return nil, fmt.Errorf("target serves no sources")
+	}
+	fmt.Fprintf(stderr, "freshbench: target %s version=%v dataset=%v generation=%v sources=%d\n",
+		target, health["version"], health["dataset"], health["generation"], numSources)
+	fmt.Fprintf(stderr, "freshbench: offering %.0f rps for %s (mix %s, %d tenants, seed %d)\n",
+		cfg.RPS, cfg.Duration, cfg.Mix, cfg.Tenants, cfg.Seed)
+
+	before, err := scrape(client, target)
+	if err != nil {
+		return nil, err
+	}
+
+	outcomes := offer(cfg, client, target, newWorkload(cfg.Seed, weights, cfg.Tenants, numSources))
+
+	after, err := scrape(client, target)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := reduce(cfg, target, health, outcomes, before, after)
+	writeBenchLines(stdout, rep)
+	if cfg.Out != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(cfg.Out, append(raw, '\n'), 0o644); err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(stderr, "freshbench: report written to %s\n", cfg.Out)
+	}
+	return rep, nil
+}
+
+// offer paces the generated stream at cfg.RPS across cfg.Concurrency
+// workers and collects every outcome. Generation is single-threaded (the
+// RNG sequence stays deterministic); only completion order varies.
+func offer(cfg benchConfig, client *http.Client, target string, wl *workload) []outcome {
+	interval := time.Duration(float64(time.Second) / cfg.RPS)
+	reqs := make(chan request, cfg.Concurrency)
+	results := make(chan outcome, 1024)
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rq := range reqs {
+				results <- issue(client, target, rq)
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var outcomes []outcome
+	go func() {
+		defer close(done)
+		for o := range results {
+			outcomes = append(outcomes, o)
+		}
+	}()
+
+	deadline := time.Now().Add(cfg.Duration)
+	tick := time.NewTicker(interval)
+	for time.Now().Before(deadline) {
+		select {
+		case reqs <- wl.next():
+		default:
+			// All workers busy and the queue full: the offered load
+			// exceeds what the target absorbs; drop the slot rather than
+			// queue unboundedly (open-loop up to the buffer, then shed).
+		}
+		<-tick.C
+	}
+	tick.Stop()
+	close(reqs)
+	wg.Wait()
+	close(results)
+	<-done
+	return outcomes
+}
+
+func issue(client *http.Client, target string, rq request) outcome {
+	var body io.Reader
+	if rq.body != "" {
+		body = strings.NewReader(rq.body)
+	}
+	req, err := http.NewRequest(rq.method, target+rq.path, body)
+	if err != nil {
+		return outcome{endpoint: rq.endpoint, failed: true}
+	}
+	if rq.body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	start := time.Now()
+	resp, err := client.Do(req)
+	dur := time.Since(start)
+	if err != nil {
+		return outcome{endpoint: rq.endpoint, dur: dur, failed: true}
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return outcome{endpoint: rq.endpoint, dur: dur, code: resp.StatusCode}
+}
+
+// scrape fetches the target's structured obs snapshot (/metrics?format=json).
+func scrape(client *http.Client, target string) (obs.Snapshot, error) {
+	var snap obs.Snapshot
+	raw, err := getBody(client, target+"/metrics?format=json")
+	if err != nil {
+		return snap, err
+	}
+	return snap, json.Unmarshal(raw, &snap)
+}
+
+// reduce folds the outcomes into the report: per-endpoint client-side
+// quantiles and rejection rates, plus allocation pressure derived from the
+// server's own runtime gauges across the run.
+func reduce(cfg benchConfig, target string, health map[string]any,
+	outcomes []outcome, before, after obs.Snapshot) *benchfmt.Report {
+	byEp := map[string][]outcome{}
+	for _, o := range outcomes {
+		byEp[o.endpoint] = append(byEp[o.endpoint], o)
+	}
+
+	serving := &benchfmt.ServingSummary{
+		Target: map[string]string{
+			"url":        target,
+			"version":    fmt.Sprint(health["version"]),
+			"commit":     fmt.Sprint(health["commit"]),
+			"dataset":    fmt.Sprint(health["dataset"]),
+			"generation": fmt.Sprint(health["generation"]),
+		},
+		Workload: map[string]string{
+			"rps":         fmt.Sprintf("%g", cfg.RPS),
+			"concurrency": strconv.Itoa(cfg.Concurrency),
+			"duration":    cfg.Duration.String(),
+			"mix":         cfg.Mix,
+			"tenants":     strconv.Itoa(cfg.Tenants),
+			"seed":        strconv.FormatInt(cfg.Seed, 10),
+		},
+		TotalRequests: int64(len(outcomes)),
+	}
+
+	rep := &benchfmt.Report{
+		Context: map[string]string{
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"pkg":    "freshsource/cmd/freshbench",
+		},
+		Serving: serving,
+	}
+
+	var eps []string
+	for ep := range byEp {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+	for _, ep := range eps {
+		group := byEp[ep]
+		var durs []time.Duration
+		var errs, r429, r504 int
+		for _, o := range group {
+			durs = append(durs, o.dur)
+			switch {
+			case o.failed || o.code >= 500 && o.code != http.StatusGatewayTimeout:
+				errs++
+			case o.code == http.StatusTooManyRequests:
+				r429++
+			case o.code == http.StatusGatewayTimeout:
+				r504++
+			case o.code >= 400:
+				errs++
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		n := len(group)
+		st := benchfmt.EndpointStats{
+			Endpoint:  ep,
+			Requests:  int64(n),
+			P50Ms:     ms(percentile(durs, 0.50)),
+			P95Ms:     ms(percentile(durs, 0.95)),
+			P99Ms:     ms(percentile(durs, 0.99)),
+			ErrorRate: float64(errs) / float64(n),
+			Rate429:   float64(r429) / float64(n),
+			Rate504:   float64(r504) / float64(n),
+		}
+		serving.Endpoints = append(serving.Endpoints, st)
+		for _, q := range []struct {
+			name string
+			v    time.Duration
+		}{
+			{"p50", percentile(durs, 0.50)},
+			{"p95", percentile(durs, 0.95)},
+			{"p99", percentile(durs, 0.99)},
+		} {
+			rep.Benchmarks = append(rep.Benchmarks, benchfmt.Benchmark{
+				Name:       "Serve/" + ep + "/" + q.name,
+				Iterations: int64(n),
+				NsPerOp:    float64(q.v.Nanoseconds()),
+			})
+		}
+	}
+
+	// Allocation pressure: the server refreshes proc.mallocs on every
+	// scrape, so the delta across the run divided by the requests served
+	// approximates allocations per request (includes the server's
+	// background work — a coarse but comparable load signature).
+	if d := after.Gauges["proc.mallocs"] - before.Gauges["proc.mallocs"]; d > 0 && len(outcomes) > 0 {
+		serving.AllocsPerRequest = d / float64(len(outcomes))
+	}
+	return rep
+}
+
+// writeBenchLines prints the synthetic benchmark lines benchjson parses:
+// one per endpoint/quantile, iterations = samples, ns/op = the quantile.
+func writeBenchLines(w io.Writer, rep *benchfmt.Report) {
+	for k, v := range map[string]string{"goos": runtime.GOOS, "goarch": runtime.GOARCH} {
+		fmt.Fprintf(w, "%s: %s\n", k, v)
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(w, "Benchmark%s \t %d \t %.0f ns/op\n", b.Name, b.Iterations, b.NsPerOp)
+	}
+	if rep.Serving != nil {
+		fmt.Fprintf(w, "# total=%d allocs/req=%.1f\n",
+			rep.Serving.TotalRequests, rep.Serving.AllocsPerRequest)
+	}
+}
+
+// spawnServer starts an in-process freshd over a compact generated
+// snapshot (written to a temp dir so /v1/reload works) on an ephemeral
+// port. The returned shutdown drains it.
+func spawnServer(cfg benchConfig, stderr io.Writer) (string, func(), error) {
+	gen := dataset.DefaultBLConfig()
+	gen.Locations, gen.Categories, gen.NumSources = 8, 5, 10
+	gen.Horizon, gen.T0 = 220, 120
+	gen.Scale = cfg.Scale
+	gen.Seed = cfg.Seed
+	var (
+		d   *dataset.Dataset
+		err error
+	)
+	switch cfg.Kind {
+	case "bl":
+		d, err = dataset.GenerateBL(gen)
+	default:
+		d, err = serve.LoadDataset("", cfg.Kind, cfg.Scale, cfg.Seed)
+	}
+	if err != nil {
+		return "", nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "freshbench-snap-")
+	if err != nil {
+		return "", nil, err
+	}
+	if err := snapio.Write(dir, d); err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	srv, err := serve.New(d, serve.Config{SnapshotDir: dir})
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.Serve(ctx, ln)
+	}()
+	fmt.Fprintf(stderr, "freshbench: spawned freshd (%s %s, build %s) on %s\n",
+		cfg.Kind, d.Name, version.String(), ln.Addr())
+	shutdown := func() {
+		cancel()
+		<-done
+		os.RemoveAll(dir)
+	}
+	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// percentile is the nearest-rank quantile of a sorted duration slice.
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+func getBody(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, resp.Body); err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: %d %s", url, resp.StatusCode, buf.String())
+	}
+	return buf.Bytes(), nil
+}
+
+func getJSON(client *http.Client, url string) (map[string]any, error) {
+	raw, err := getBody(client, url)
+	if err != nil {
+		return nil, err
+	}
+	var m map[string]any
+	return m, json.Unmarshal(raw, &m)
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"freshsource/internal/benchfmt"
+)
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("select=6,quality=3,reload=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["select"] != 6 || w["quality"] != 3 || w["reload"] != 1 {
+		t.Errorf("weights: %v", w)
+	}
+	for _, bad := range []string{"", "select=x", "bogus=1", "select=-2", "select=0,quality=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	weights := map[string]int{"select": 6, "quality": 3, "reload": 1}
+	a := newWorkload(42, weights, 4, 10)
+	b := newWorkload(42, weights, 4, 10)
+	seen := map[string]bool{}
+	for i := 0; i < 200; i++ {
+		ra, rb := a.next(), b.next()
+		if ra != rb {
+			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
+		}
+		seen[ra.endpoint] = true
+	}
+	for _, ep := range []string{"select", "quality", "reload"} {
+		if !seen[ep] {
+			t.Errorf("200 draws never hit %s", ep)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	durs := make([]time.Duration, 100)
+	for i := range durs {
+		durs[i] = time.Duration(i+1) * time.Millisecond
+	}
+	if p := percentile(durs, 0.50); p != 50*time.Millisecond {
+		t.Errorf("p50 = %v", p)
+	}
+	if p := percentile(durs, 0.99); p != 99*time.Millisecond {
+		t.Errorf("p99 = %v", p)
+	}
+	if p := percentile(nil, 0.5); p != 0 {
+		t.Errorf("empty percentile = %v", p)
+	}
+	if p := percentile(durs[:1], 0.99); p != 1*time.Millisecond {
+		t.Errorf("singleton percentile = %v", p)
+	}
+}
+
+// TestRunSpawned is the end-to-end smoke: spawn an in-process freshd,
+// offer a short mixed load, and check the report and the bench-line output
+// feed the benchjson compare gate.
+func TestRunSpawned(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server and fits models")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	cfg := benchConfig{
+		Spawn:       true,
+		Kind:        "bl",
+		Scale:       0.4,
+		RPS:         60,
+		Concurrency: 4,
+		Duration:    1200 * time.Millisecond,
+		Mix:         "select=5,quality=3,reload=1,freshness=1",
+		Tenants:     3,
+		Seed:        7,
+		Timeout:     10 * time.Second,
+		Out:         out,
+	}
+	var stdout, stderr bytes.Buffer
+	rep, err := run(cfg, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if rep.Serving == nil || rep.Serving.TotalRequests == 0 {
+		t.Fatalf("no requests recorded: %+v", rep.Serving)
+	}
+	if len(rep.Serving.Endpoints) == 0 || len(rep.Benchmarks) != 3*len(rep.Serving.Endpoints) {
+		t.Errorf("endpoints %d benchmarks %d", len(rep.Serving.Endpoints), len(rep.Benchmarks))
+	}
+	for _, ep := range rep.Serving.Endpoints {
+		if ep.Requests == 0 || ep.P50Ms < 0 || ep.P99Ms < ep.P50Ms {
+			t.Errorf("endpoint stats: %+v", ep)
+		}
+		if ep.ErrorRate > 0 {
+			t.Errorf("%s: error rate %g on a healthy spawned server", ep.Endpoint, ep.ErrorRate)
+		}
+	}
+	if !strings.Contains(stderr.String(), "version=dev") {
+		t.Errorf("run header missing build identity: %s", stderr.String())
+	}
+
+	// The printed lines must round-trip through the benchjson parser and
+	// self-compare clean against the written report.
+	parsed, err := benchfmt.Parse(strings.NewReader(stdout.String()))
+	if err != nil {
+		t.Fatalf("bench lines unparseable: %v\n%s", err, stdout.String())
+	}
+	if len(parsed.Benchmarks) != len(rep.Benchmarks) {
+		t.Errorf("parsed %d lines, report has %d", len(parsed.Benchmarks), len(rep.Benchmarks))
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var onDisk benchfmt.Report
+	if err := json.Unmarshal(raw, &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if regs, missing := benchfmt.Compare(onDisk, parsed, 0.01); len(regs) != 0 || len(missing) != 0 {
+		t.Errorf("self-compare: regs=%v missing=%v", regs, missing)
+	}
+}

@@ -7,10 +7,13 @@
 //
 //	freshd -kind bl -scale 0.5 -addr :8080
 //	freshd -load snapshots/bl-small -timeout 10s -max-inflight 8
+//	freshd -load snapshots/bl-small -obs.dump /var/run/freshd.obs.json -obs.interval 30s
 //
 // Endpoints: POST /v1/select, POST /v1/quality, GET /v1/sources,
-// POST /v1/reload, GET /healthz, GET /metrics. A served selection is
-// byte-identical to a freshselect run over the same snapshot and options.
+// POST /v1/reload, GET /v1/freshness, GET /healthz, GET /metrics
+// (Prometheus text exposition; ?format=json for the raw snapshot). A
+// served selection is byte-identical to a freshselect run over the same
+// snapshot and options.
 //
 // When serving a persisted snapshot (-load), the daemon hot-reloads it on
 // SIGHUP or POST /v1/reload: the candidate is staged, validated and fitted
@@ -30,55 +33,66 @@ import (
 
 	"freshsource/internal/obs"
 	"freshsource/internal/serve"
+	"freshsource/internal/version"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		load      = flag.String("load", "", "load a persisted dataset directory instead of generating")
-		kind      = flag.String("kind", "bl", "dataset kind when generating: bl or gdelt")
-		scale     = flag.Float64("scale", 0.5, "dataset scale when generating")
-		seed      = flag.Int64("seed", 1, "dataset seed when generating")
-		inflight  = flag.Int("max-inflight", 0, "max concurrent select/quality requests (0 = 2×GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request deadline; an expired solve is canceled and answered 504")
-		grace     = flag.Duration("grace", 10*time.Second, "shutdown drain bound for in-flight requests")
-		future    = flag.Int("future", 10, "default number of future time points of interest")
-		cacheSize = flag.Int("cache-entries", 0, "max entries per registry cache (0 = 4096)")
-		fitWork   = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential); models are byte-identical at any setting")
-		mcDir     = flag.String("modelcache.dir", "", "persistent model cache directory; a verified entry skips the startup fit (empty = disabled)")
-		pprofAddr = flag.String("pprof", "", "also serve pprof/expvar on this address (e.g. localhost:6060)")
-		maxBody   = flag.Int64("max-body", 1<<20, "request body cap in bytes; oversized POSTs are rejected with 413")
-		reloadTO  = flag.Duration("reload.timeout", 5*time.Minute, "bound on staging+fitting a hot-reloaded snapshot; on expiry the candidate is discarded")
+		addr        = flag.String("addr", ":8080", "listen address")
+		load        = flag.String("load", "", "load a persisted dataset directory instead of generating")
+		kind        = flag.String("kind", "bl", "dataset kind when generating: bl or gdelt")
+		scale       = flag.Float64("scale", 0.5, "dataset scale when generating")
+		seed        = flag.Int64("seed", 1, "dataset seed when generating")
+		inflight    = flag.Int("max-inflight", 0, "max concurrent select/quality requests (0 = 2×GOMAXPROCS)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "per-request deadline; an expired solve is canceled and answered 504")
+		grace       = flag.Duration("grace", 10*time.Second, "shutdown drain bound for in-flight requests")
+		future      = flag.Int("future", 10, "default number of future time points of interest")
+		cacheSize   = flag.Int("cache-entries", 0, "max entries per registry cache (0 = 4096)")
+		fitWork     = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential); models are byte-identical at any setting")
+		mcDir       = flag.String("modelcache.dir", "", "persistent model cache directory; a verified entry skips the startup fit (empty = disabled)")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes; oversized POSTs are rejected with 413")
+		reloadTO    = flag.Duration("reload.timeout", 5*time.Minute, "bound on staging+fitting a hot-reloaded snapshot; on expiry the candidate is discarded")
+		freshWarn   = flag.Float64("freshness.warn", 1.5, "GET /v1/freshness warning threshold, as a multiple of each source's fitted update interval")
+		freshStale  = flag.Float64("freshness.stale", 3.0, "GET /v1/freshness stale threshold, as a multiple of each source's fitted update interval")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
+	var of obs.Flags
+	of.Register(flag.CommandLine)
 	flag.Parse()
 
-	if *pprofAddr != "" {
-		bound, err := obs.ServeDebug(*pprofAddr)
-		if err != nil {
-			fatal(err)
-		}
+	if *showVersion {
+		fmt.Println("freshd", version.String())
+		return
+	}
+
+	if bound, err := of.Activate(); err != nil {
+		fatal(err)
+	} else if bound != "" {
 		fmt.Fprintf(os.Stderr, "freshd: pprof/expvar on http://%s/debug/pprof/\n", bound)
 	}
+	defer of.Finish(os.Stderr)
 
 	d, err := serve.LoadDataset(*load, *kind, *scale, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "freshd: dataset %s: %d sources, %d entities, t0=%d\n",
-		d.Name, len(d.Sources), d.World.NumEntities(), d.T0)
+	fmt.Fprintf(os.Stderr, "freshd %s: dataset %s: %d sources, %d entities, t0=%d\n",
+		version.String(), d.Name, len(d.Sources), d.World.NumEntities(), d.T0)
 
 	srv, err := serve.New(d, serve.Config{
-		Addr:            *addr,
-		MaxInflight:     *inflight,
-		RequestTimeout:  *timeout,
-		ShutdownGrace:   *grace,
-		DefaultFuture:   *future,
-		MaxCacheEntries: *cacheSize,
-		FitWorkers:      *fitWork,
-		ModelCacheDir:   *mcDir,
-		SnapshotDir:     *load,
-		ReloadTimeout:   *reloadTO,
-		MaxBodyBytes:    *maxBody,
+		Addr:                 *addr,
+		MaxInflight:          *inflight,
+		RequestTimeout:       *timeout,
+		ShutdownGrace:        *grace,
+		DefaultFuture:        *future,
+		MaxCacheEntries:      *cacheSize,
+		FitWorkers:           *fitWork,
+		ModelCacheDir:        *mcDir,
+		SnapshotDir:          *load,
+		ReloadTimeout:        *reloadTO,
+		MaxBodyBytes:         *maxBody,
+		FreshnessWarnFactor:  *freshWarn,
+		FreshnessStaleFactor: *freshStale,
 	})
 	if err != nil {
 		fatal(err)

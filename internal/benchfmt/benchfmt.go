@@ -1,0 +1,184 @@
+// Package benchfmt defines the benchmark report interchange format shared
+// by the perf tooling: cmd/benchjson parses `go test -bench` text into a
+// Report and diffs Reports for the CI regression gate, and cmd/freshbench
+// emits the same schema (extended with a ServingSummary) for the serving
+// load harness, so one `-compare` gate covers both the library microbenches
+// (BENCH_selection.json) and the end-to-end serving latencies
+// (BENCH_serving.json).
+package benchfmt
+
+import (
+	"bufio"
+	"io"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64  `json:"allocs_per_op,omitempty"`
+}
+
+// Speedup compares one variant against its family's seq baseline.
+type Speedup struct {
+	Family  string  `json:"family"`
+	Variant string  `json:"variant"`
+	SeqNs   float64 `json:"seq_ns_per_op"`
+	NsPerOp float64 `json:"ns_per_op"`
+	Speedup float64 `json:"speedup"`
+}
+
+// Report is the emitted document. Serving is populated only by freshbench
+// runs; the compare gate ignores it and diffs Benchmarks alone.
+type Report struct {
+	Context    map[string]string `json:"context"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+	Speedups   []Speedup         `json:"speedups,omitempty"`
+	Serving    *ServingSummary   `json:"serving,omitempty"`
+}
+
+// ServingSummary is the serving-bench extension of the report: one load-
+// harness run against a live freshd, with per-endpoint latency quantiles
+// and outcome rates. The headline latencies are duplicated into
+// Report.Benchmarks (as <Endpoint>/p50 … ns/op entries) so benchjson
+// -compare gates them without knowing this schema.
+type ServingSummary struct {
+	// Target identifies the server under load: its address, dataset,
+	// generation, version and uptime as reported by /healthz.
+	Target map[string]string `json:"target,omitempty"`
+	// Workload echoes the harness configuration: rps, concurrency,
+	// duration, tenants, mix and seed — enough to reproduce the run.
+	Workload map[string]string `json:"workload,omitempty"`
+	// Endpoints summarizes each driven route.
+	Endpoints []EndpointStats `json:"endpoints"`
+	// TotalRequests and AllocsPerRequest are whole-run aggregates;
+	// AllocsPerRequest is derived from the server's proc.mallocs gauge
+	// (internal/obs runtime capture) diffed across the run.
+	TotalRequests    int64   `json:"total_requests"`
+	AllocsPerRequest float64 `json:"allocs_per_request"`
+}
+
+// EndpointStats is the outcome of one endpoint under load.
+type EndpointStats struct {
+	Endpoint string `json:"endpoint"`
+	Requests int64  `json:"requests"`
+	// P50/P95/P99 are client-observed latencies in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// ErrorRate counts 5xx other than 504; Rate429 and Rate504 the
+	// admission and deadline rejections — all as fractions of Requests.
+	ErrorRate float64 `json:"error_rate"`
+	Rate429   float64 `json:"rate_429"`
+	Rate504   float64 `json:"rate_504"`
+}
+
+// Regression is one benchmark that slowed past the tolerance.
+type Regression struct {
+	Name  string
+	OldNs float64
+	NewNs float64
+	Ratio float64 // NewNs / OldNs
+	Bound float64 // 1 + tolerance
+}
+
+var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// Parse scans `go test -bench` output into a report (context lines and
+// benchmark result lines; everything else is ignored).
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{Context: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+			if v, ok := strings.CutPrefix(line, key+": "); ok {
+				rep.Context[key] = v
+			}
+		}
+		m := lineRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			v, _ := strconv.ParseInt(m[4], 10, 64)
+			b.BytesPerOp = &v
+		}
+		if m[5] != "" {
+			v, _ := strconv.ParseInt(m[5], 10, 64)
+			b.AllocsPerOp = &v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	return rep, sc.Err()
+}
+
+// ComputeSpeedups fills rep.Speedups from the family baselines: Family/seq
+// (or Family/scratch for the estimator micro-benchmarks, which name the
+// from-scratch path that way).
+func ComputeSpeedups(rep *Report) {
+	base := map[string]float64{}
+	for _, b := range rep.Benchmarks {
+		fam, variant, ok := strings.Cut(b.Name, "/")
+		if !ok {
+			continue
+		}
+		if variant == "seq" || variant == "scratch" {
+			base[fam] = b.NsPerOp
+		}
+	}
+	for _, b := range rep.Benchmarks {
+		fam, variant, ok := strings.Cut(b.Name, "/")
+		if !ok || variant == "seq" || variant == "scratch" {
+			continue
+		}
+		seq, ok := base[fam]
+		if !ok || b.NsPerOp <= 0 {
+			continue
+		}
+		rep.Speedups = append(rep.Speedups, Speedup{
+			Family:  fam,
+			Variant: variant,
+			SeqNs:   seq,
+			NsPerOp: b.NsPerOp,
+			Speedup: seq / b.NsPerOp,
+		})
+	}
+}
+
+// Compare diffs the fresh run against a reference: every benchmark present
+// in both must satisfy new ≤ old·(1+tolerance). Benchmarks only in the
+// reference are returned as missing (reported, not fatal: renames and
+// removals shouldn't hard-fail CI); benchmarks only in the fresh run are
+// ignored.
+func Compare(ref, fresh Report, tolerance float64) (regs []Regression, missing []string) {
+	freshNs := make(map[string]float64, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshNs[b.Name] = b.NsPerOp
+	}
+	bound := 1 + tolerance
+	for _, b := range ref.Benchmarks {
+		ns, ok := freshNs[b.Name]
+		if !ok {
+			missing = append(missing, b.Name)
+			continue
+		}
+		if b.NsPerOp <= 0 {
+			continue
+		}
+		if ratio := ns / b.NsPerOp; ratio > bound {
+			regs = append(regs, Regression{
+				Name: b.Name, OldNs: b.NsPerOp, NewNs: ns, Ratio: ratio, Bound: bound,
+			})
+		}
+	}
+	return regs, missing
+}

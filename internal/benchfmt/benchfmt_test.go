@@ -1,6 +1,7 @@
-package main
+package benchfmt
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -21,15 +22,15 @@ ok  	freshsource/internal/selection	12.345s
 
 func parseSample(t *testing.T) Report {
 	t.Helper()
-	rep, err := parseBench(strings.NewReader(sampleOutput))
+	rep, err := Parse(strings.NewReader(sampleOutput))
 	if err != nil {
 		t.Fatal(err)
 	}
-	computeSpeedups(&rep)
+	ComputeSpeedups(&rep)
 	return rep
 }
 
-func TestParseBench(t *testing.T) {
+func TestParse(t *testing.T) {
 	rep := parseSample(t)
 	if len(rep.Benchmarks) != 6 {
 		t.Fatalf("parsed %d benchmarks, want 6", len(rep.Benchmarks))
@@ -46,6 +47,29 @@ func TestParseBench(t *testing.T) {
 	}
 	if rep.Benchmarks[0].BytesPerOp != nil {
 		t.Error("seq line should have no allocation columns")
+	}
+}
+
+// TestParseFreshbenchLines pins the serving-harness contract: the lines
+// freshbench prints (no -N GOMAXPROCS suffix, one iteration) must parse
+// into comparable benchmarks.
+func TestParseFreshbenchLines(t *testing.T) {
+	rep, err := Parse(strings.NewReader(
+		"BenchmarkServe/select/p50 	 120	 1500000 ns/op\n" +
+			"BenchmarkServe/select/p95 	 120	 9500000 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(rep.Benchmarks))
+	}
+	if rep.Benchmarks[0].Name != "Serve/select/p50" || rep.Benchmarks[0].NsPerOp != 1.5e6 {
+		t.Errorf("parsed: %+v", rep.Benchmarks[0])
+	}
+	// No seq baseline in the family → no speedups, and no crash.
+	ComputeSpeedups(&rep)
+	if len(rep.Speedups) != 0 {
+		t.Errorf("unexpected speedups: %+v", rep.Speedups)
 	}
 }
 
@@ -71,12 +95,12 @@ func TestComputeSpeedups(t *testing.T) {
 // default 25% tolerance.
 func TestCompareFailsTwoTimesRegression(t *testing.T) {
 	ref := parseSample(t)
-	slowed, err := parseBench(strings.NewReader(strings.ReplaceAll(
+	slowed, err := Parse(strings.NewReader(strings.ReplaceAll(
 		sampleOutput, "1000000 ns/op", "2000001 ns/op")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	regs, missing := compareReports(ref, slowed, 0.25)
+	regs, missing := Compare(ref, slowed, 0.25)
 	if len(missing) != 0 {
 		t.Errorf("missing: %v", missing)
 	}
@@ -91,32 +115,70 @@ func TestCompareFailsTwoTimesRegression(t *testing.T) {
 
 func TestCompareWithinTolerancePasses(t *testing.T) {
 	ref := parseSample(t)
-	slightlySlower, err := parseBench(strings.NewReader(strings.ReplaceAll(
+	slightlySlower, err := Parse(strings.NewReader(strings.ReplaceAll(
 		sampleOutput, "1000000 ns/op", "1200000 ns/op")))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if regs, _ := compareReports(ref, slightlySlower, 0.25); len(regs) != 0 {
+	if regs, _ := Compare(ref, slightlySlower, 0.25); len(regs) != 0 {
 		t.Errorf("20%% slowdown flagged at 25%% tolerance: %+v", regs)
 	}
 	// Faster is never a regression.
-	if regs, _ := compareReports(ref, parseSample(t), 0); len(regs) != 0 {
+	if regs, _ := Compare(ref, parseSample(t), 0); len(regs) != 0 {
 		t.Errorf("identical run flagged at zero tolerance: %+v", regs)
 	}
 }
 
 func TestCompareReportsMissing(t *testing.T) {
 	ref := parseSample(t)
-	partial, err := parseBench(strings.NewReader(
+	partial, err := Parse(strings.NewReader(
 		"BenchmarkGreedy/seq-16 100 1000000 ns/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	regs, missing := compareReports(ref, partial, 0.25)
+	regs, missing := Compare(ref, partial, 0.25)
 	if len(regs) != 0 {
 		t.Errorf("unexpected regressions: %+v", regs)
 	}
 	if len(missing) != 5 {
 		t.Errorf("missing = %v, want the 5 absent benchmarks", missing)
+	}
+}
+
+// TestServingRoundTrip pins the BENCH_serving.json schema: a report with a
+// serving extension survives a JSON round trip, and a reader that only
+// knows the base schema (the compare gate) still sees the benchmarks.
+func TestServingRoundTrip(t *testing.T) {
+	rep := Report{
+		Context: map[string]string{"goos": "linux"},
+		Benchmarks: []Benchmark{
+			{Name: "Serve/select/p50", Iterations: 120, NsPerOp: 1.5e6},
+		},
+		Serving: &ServingSummary{
+			Target:   map[string]string{"dataset": "BL", "version": "dev"},
+			Workload: map[string]string{"rps": "50", "seed": "1"},
+			Endpoints: []EndpointStats{{
+				Endpoint: "select", Requests: 120,
+				P50Ms: 1.5, P95Ms: 9.5, P99Ms: 20,
+				Rate429: 0.05,
+			}},
+			TotalRequests:    150,
+			AllocsPerRequest: 812.5,
+		},
+	}
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Serving == nil || back.Serving.Endpoints[0].P95Ms != 9.5 ||
+		back.Serving.AllocsPerRequest != 812.5 {
+		t.Errorf("serving extension did not round-trip: %+v", back.Serving)
+	}
+	if regs, missing := Compare(back, rep, 0); len(regs) != 0 || len(missing) != 0 {
+		t.Errorf("self-compare: regs=%v missing=%v", regs, missing)
 	}
 }

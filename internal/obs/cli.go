@@ -5,14 +5,19 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // Flags bundles the standard observability command-line surface shared by
 // the binaries:
 //
-//	-obs.dump <path>   write a JSON telemetry snapshot on exit
-//	-obs.table         print a human-readable telemetry table on exit
-//	-pprof <addr>      serve net/http/pprof + expvar on addr
+//	-obs.dump <path>     write a JSON telemetry snapshot on exit
+//	-obs.interval <dur>  also rewrite the -obs.dump snapshot periodically
+//	                     (atomic rename; crash-safe), 0 = exit-only
+//	-obs.keep <n>        rotated snapshot generations retained with
+//	                     -obs.interval (path, path.1, …)
+//	-obs.table           print a human-readable telemetry table on exit
+//	-pprof <addr>        serve net/http/pprof + expvar on addr
 //
 // Typical wiring:
 //
@@ -24,15 +29,24 @@ import (
 type Flags struct {
 	// Dump is the -obs.dump JSON snapshot path ("" = off).
 	Dump string
+	// Interval is the -obs.interval periodic rewrite cadence of the Dump
+	// path (0 = write only on exit).
+	Interval time.Duration
+	// Keep is the -obs.keep retention depth of the periodic writer.
+	Keep int
 	// Table enables the -obs.table exit report.
 	Table bool
 	// PprofAddr is the -pprof listen address ("" = off).
 	PprofAddr string
+
+	periodic *PeriodicWriter
 }
 
 // Register installs the flags on fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.Dump, "obs.dump", "", "write a JSON telemetry snapshot to this path on exit")
+	fs.DurationVar(&f.Interval, "obs.interval", 0, "also rewrite the -obs.dump snapshot on this interval (atomic rename; 0 = exit-only)")
+	fs.IntVar(&f.Keep, "obs.keep", 3, "rotated snapshot generations retained by -obs.interval (path, path.1, ...)")
 	fs.BoolVar(&f.Table, "obs.table", false, "print a telemetry table on exit")
 	fs.StringVar(&f.PprofAddr, "pprof", "", "serve pprof and expvar on this address (e.g. localhost:6060)")
 }
@@ -40,14 +54,19 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 // Enabled reports whether any observability flag was set.
 func (f *Flags) Enabled() bool { return f.Dump != "" || f.Table || f.PprofAddr != "" }
 
-// Activate enables telemetry if any flag was set and starts the debug
-// listener when requested. Call after flag parsing and before the
-// instrumented work. Returns the bound pprof address ("" when off).
+// Activate enables telemetry if any flag was set, starts the debug
+// listener when requested, and — when -obs.interval is set alongside
+// -obs.dump — starts the periodic snapshot writer. Call after flag parsing
+// and before the instrumented work. Returns the bound pprof address (""
+// when off).
 func (f *Flags) Activate() (string, error) {
 	if !f.Enabled() {
 		return "", nil
 	}
-	Enable()
+	r := Enable()
+	if f.Dump != "" && f.Interval > 0 {
+		f.periodic = StartPeriodic(r, f.Dump, f.Interval, f.Keep)
+	}
 	if f.PprofAddr == "" {
 		return "", nil
 	}
@@ -58,9 +77,11 @@ func (f *Flags) Activate() (string, error) {
 	return addr, nil
 }
 
-// Finish emits the exit reports: the table to w (when -obs.table) and the
-// JSON snapshot to the -obs.dump path. A no-op when telemetry is off.
+// Finish emits the exit reports: the periodic writer (if any) flushes a
+// final snapshot and stops, then the table goes to w (when -obs.table) and
+// the JSON snapshot to the -obs.dump path. A no-op when telemetry is off.
 func (f *Flags) Finish(w io.Writer) error {
+	f.periodic.Stop()
 	r := Active()
 	if r == nil {
 		return nil

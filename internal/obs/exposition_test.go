@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve.reload.attempts").Add(3)
+	r.Gauge("serve.freshness.fresh").Set(12)
+	h := r.HistogramWith("http.select.seconds", []float64{0.001, 0.01, 0.1})
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5) // overflow
+
+	var b strings.Builder
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	doc := b.String()
+
+	for _, want := range []string{
+		"# TYPE serve_reload_attempts counter\nserve_reload_attempts 3\n",
+		"# TYPE serve_freshness_fresh gauge\nserve_freshness_fresh 12\n",
+		"# TYPE http_select_seconds histogram\n",
+		`http_select_seconds_bucket{le="0.001"} 1`,
+		`http_select_seconds_bucket{le="0.01"} 1`,
+		`http_select_seconds_bucket{le="0.1"} 2`,
+		`http_select_seconds_bucket{le="+Inf"} 3`,
+		"http_select_seconds_count 3",
+		"# TYPE http_select_seconds_p95 gauge",
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, doc)
+		}
+	}
+
+	n, err := ValidatePrometheus(doc)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, doc)
+	}
+	// 1 counter + 1 gauge + (4 buckets + sum + count + 3 quantiles).
+	if n != 11 {
+		t.Errorf("sample count = %d, want 11:\n%s", n, doc)
+	}
+}
+
+func TestWritePrometheusIsDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"z.last", "a.first", "m.middle"} {
+		r.Counter(name).Inc()
+	}
+	var a, b strings.Builder
+	snap := r.Snapshot()
+	if err := snap.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("two renders of one snapshot differ")
+	}
+	if !strings.Contains(a.String(), "a_first 1\n# TYPE m_middle") {
+		t.Errorf("families not in sorted order:\n%s", a.String())
+	}
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"http.select.seconds": "http_select_seconds",
+		"serve.reload-rate":   "serve_reload_rate",
+		"9lives":              "_9lives",
+		"ok_name:colon":       "ok_name:colon",
+	}
+	for in, want := range cases {
+		if got := sanitizeMetricName(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestValidatePrometheusRejectsGarbage(t *testing.T) {
+	for _, doc := range []string{
+		"no value line\nmetric",                 // missing value
+		"bad.name 1",                            // unsanitized name
+		"metric not-a-number",                   // bad float
+		"# COMMENT of unknown kind\nmetric 1\n", // unknown comment
+		`metric{le="0.5" 1`,                     // unterminated labels
+	} {
+		if _, err := ValidatePrometheus(doc); err == nil {
+			t.Errorf("ValidatePrometheus accepted %q", doc)
+		}
+	}
+}
+
+func TestCaptureRuntime(t *testing.T) {
+	r := NewRegistry()
+	CaptureRuntime(r)
+	snap := r.Snapshot()
+	if snap.Gauges["proc.goroutines"] < 1 {
+		t.Errorf("proc.goroutines = %v, want >= 1", snap.Gauges["proc.goroutines"])
+	}
+	if snap.Gauges["proc.mallocs"] <= 0 {
+		t.Errorf("proc.mallocs = %v, want > 0", snap.Gauges["proc.mallocs"])
+	}
+	CaptureRuntime(nil) // nil-safe like every obs entry point
+}
+
+func TestSnapshotCarriesBucketLayout(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.seconds")
+	h.Observe(0.002)
+	sum := r.Snapshot().Histograms["x.seconds"]
+	if len(sum.Bounds) != len(DefaultLatencyBuckets) {
+		t.Fatalf("bounds = %d entries, want %d", len(sum.Bounds), len(DefaultLatencyBuckets))
+	}
+	if len(sum.Counts) != len(DefaultLatencyBuckets)+1 {
+		t.Fatalf("counts = %d entries, want %d", len(sum.Counts), len(DefaultLatencyBuckets)+1)
+	}
+	var total int64
+	for _, n := range sum.Counts {
+		total += n
+	}
+	if total != 1 {
+		t.Errorf("counts sum to %d, want 1", total)
+	}
+	// Serving-scale check: the default layout must resolve second-to-minute
+	// latencies, not just the microbench range — a 4-minute reload must land
+	// in a finite bucket, not overflow.
+	last := sum.Bounds[len(sum.Bounds)-1]
+	if last < 600 {
+		t.Errorf("last finite bound %v too low for reload-scale latencies", last)
+	}
+}

@@ -67,8 +67,12 @@ func (g *GaugeVar) Value() float64 {
 }
 
 // DefaultLatencyBuckets are the upper bounds, in seconds, of the default
-// histogram layout: roughly exponential from 1 µs to 1 min. An implicit
-// overflow bucket catches everything above the last bound.
+// histogram layout: roughly exponential from 1 µs to 10 min. The low end
+// resolves the library microbenches; the 1 s – 600 s tail keeps serving-
+// and reload-scale latencies (a hot reload pre-fits a full model set and
+// may legitimately take minutes) out of the overflow bucket, where
+// quantiles would clip to the last finite bound. An implicit overflow
+// bucket catches everything above the last bound.
 var DefaultLatencyBuckets = []float64{
 	1e-6, 2.5e-6, 5e-6,
 	1e-5, 2.5e-5, 5e-5,
@@ -76,7 +80,7 @@ var DefaultLatencyBuckets = []float64{
 	1e-3, 2.5e-3, 5e-3,
 	1e-2, 2.5e-2, 5e-2,
 	1e-1, 2.5e-1, 5e-1,
-	1, 2.5, 5, 10, 30, 60,
+	1, 2.5, 5, 10, 30, 60, 120, 300, 600,
 }
 
 // HistogramVar is a fixed-bucket histogram of float64 observations
@@ -109,7 +113,7 @@ func (h *HistogramVar) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	// Buckets are few (≤ ~24): linear scan beats binary search overhead
+	// Buckets are few (≤ ~27): linear scan beats binary search overhead
 	// and stays branch-predictable for the common small-latency case.
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// PeriodicWriter snapshots a registry to disk on a fixed interval, so a
+// long-running daemon keeps its telemetry after a crash instead of only
+// dumping on a clean exit. Every cycle:
+//
+//  1. the snapshot is written to <path>.tmp and atomically renamed over
+//     <path> — a reader (or a post-mortem) never sees a torn file;
+//  2. the previous generations rotate to <path>.1 … <path>.<keep-1>, so
+//     the last keep snapshots survive (retention 1 keeps only <path>).
+//
+// Stop flushes one final snapshot, making `kill` and clean shutdown leave
+// the same artifacts behind.
+type PeriodicWriter struct {
+	reg      *Registry
+	path     string
+	interval time.Duration
+	keep     int
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu     sync.Mutex
+	writes int
+	errs   int
+	last   error
+}
+
+// StartPeriodic begins snapshotting reg to path every interval, retaining
+// the keep most recent files (keep < 1 is treated as 1). A nil reg or
+// non-positive interval returns nil — callers can wire the flag
+// unconditionally and Stop a nil writer safely.
+func StartPeriodic(reg *Registry, path string, interval time.Duration, keep int) *PeriodicWriter {
+	if reg == nil || interval <= 0 || path == "" {
+		return nil
+	}
+	if keep < 1 {
+		keep = 1
+	}
+	w := &PeriodicWriter{
+		reg:      reg,
+		path:     path,
+		interval: interval,
+		keep:     keep,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+func (w *PeriodicWriter) loop() {
+	defer close(w.done)
+	t := time.NewTicker(w.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			w.writeOnce()
+		case <-w.stop:
+			w.writeOnce() // final flush: exit artifacts match crash artifacts
+			return
+		}
+	}
+}
+
+// writeOnce rotates the retention chain and atomically replaces <path>.
+func (w *PeriodicWriter) writeOnce() {
+	err := w.write()
+	w.mu.Lock()
+	if err != nil {
+		w.errs++
+		w.last = err
+	} else {
+		w.writes++
+	}
+	w.mu.Unlock()
+	if err != nil {
+		Counter("obs.periodic.errors").Inc()
+	} else {
+		Counter("obs.periodic.writes").Inc()
+	}
+}
+
+func (w *PeriodicWriter) write() error {
+	tmp := w.path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("obs: periodic snapshot: %w", err)
+	}
+	snap := w.reg.Snapshot()
+	if err := snap.WriteJSON(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("obs: periodic snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: periodic snapshot: %w", err)
+	}
+	// Rotate oldest-first so each generation moves exactly one slot:
+	// path.(keep-2) → path.(keep-1), …, path → path.1. Renames of missing
+	// generations (early in the run) are skipped.
+	for n := w.keep - 1; n >= 1; n-- {
+		src := w.path
+		if n > 1 {
+			src = fmt.Sprintf("%s.%d", w.path, n-1)
+		}
+		if _, err := os.Stat(src); err != nil {
+			continue
+		}
+		_ = os.Rename(src, fmt.Sprintf("%s.%d", w.path, n))
+	}
+	if err := os.Rename(tmp, w.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("obs: periodic snapshot: %w", err)
+	}
+	return nil
+}
+
+// Stop ends the loop, flushes a final snapshot and waits for it. Safe to
+// call more than once, and on a nil writer.
+func (w *PeriodicWriter) Stop() {
+	if w == nil {
+		return
+	}
+	w.stopOnce.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+// Stats reports the writer's lifetime outcome: successful writes, failed
+// writes, and the most recent error (nil when every write landed).
+func (w *PeriodicWriter) Stats() (writes, errs int, last error) {
+	if w == nil {
+		return 0, 0, nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.writes, w.errs, w.last
+}
+
+// Retained lists the snapshot files currently on disk for path, newest
+// first: <path>, <path>.1, … — a convenience for tests and operators.
+func (w *PeriodicWriter) Retained() []string {
+	if w == nil {
+		return nil
+	}
+	var out []string
+	if _, err := os.Stat(w.path); err == nil {
+		out = append(out, filepath.Clean(w.path))
+	}
+	for n := 1; n < w.keep; n++ {
+		p := fmt.Sprintf("%s.%d", w.path, n)
+		if _, err := os.Stat(p); err == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}

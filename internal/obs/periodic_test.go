@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func waitWrites(t *testing.T, w *PeriodicWriter, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		writes, errs, last := w.Stats()
+		if errs > 0 {
+			t.Fatalf("periodic writer errored: %v", last)
+		}
+		if writes >= n {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d writes (have %d)", n, writes)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestPeriodicWriterWritesAndRotates(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("work.done").Add(7)
+	path := filepath.Join(t.TempDir(), "obs.json")
+
+	w := StartPeriodic(r, path, 5*time.Millisecond, 3)
+	waitWrites(t, w, 4) // enough cycles to fill the retention chain
+	w.Stop()
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Counters["work.done"] != 7 {
+		t.Errorf("snapshot counter = %d, want 7", snap.Counters["work.done"])
+	}
+
+	retained := w.Retained()
+	if len(retained) != 3 {
+		t.Fatalf("retained %v, want 3 generations", retained)
+	}
+	for _, p := range retained {
+		var gen Snapshot
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.Unmarshal(raw, &gen); err != nil {
+			t.Errorf("%s: torn snapshot: %v", p, err)
+		}
+	}
+	// The chain must not grow past the retention depth.
+	if _, err := os.Stat(fmt.Sprintf("%s.%d", path, 3)); err == nil {
+		t.Error("retention kept a generation past keep=3")
+	}
+	// No stray tmp file after a clean stop.
+	if _, err := os.Stat(path + ".tmp"); err == nil {
+		t.Error("tmp file left behind")
+	}
+}
+
+func TestPeriodicWriterStopFlushes(t *testing.T) {
+	r := NewRegistry()
+	path := filepath.Join(t.TempDir(), "obs.json")
+	// An interval far longer than the test: the only write is Stop's flush.
+	w := StartPeriodic(r, path, time.Hour, 1)
+	r.Counter("late.work").Add(1)
+	w.Stop()
+
+	var snap Snapshot
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("stop did not flush: %v", err)
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["late.work"] != 1 {
+		t.Errorf("flushed snapshot = %+v, want late.work=1", snap.Counters)
+	}
+	w.Stop() // idempotent
+}
+
+func TestPeriodicWriterNilSafety(t *testing.T) {
+	if w := StartPeriodic(nil, "x", time.Second, 1); w != nil {
+		t.Error("nil registry should not start a writer")
+	}
+	if w := StartPeriodic(NewRegistry(), "", time.Second, 1); w != nil {
+		t.Error("empty path should not start a writer")
+	}
+	if w := StartPeriodic(NewRegistry(), "x", 0, 1); w != nil {
+		t.Error("zero interval should not start a writer")
+	}
+	var w *PeriodicWriter
+	w.Stop()
+	if got := w.Retained(); got != nil {
+		t.Errorf("nil writer retained %v", got)
+	}
+}

@@ -30,6 +30,13 @@ type HistogramSummary struct {
 	// Buckets lists the non-empty buckets as {le, count} pairs; the
 	// overflow bucket reports le = +Inf encoded as "inf".
 	Buckets []BucketCount `json:"buckets,omitempty"`
+	// Bounds is the histogram's full bucket layout: the finite inclusive
+	// upper bounds, ascending. Counts is parallel plus one trailing
+	// overflow slot (observations above the last bound), empty buckets
+	// included — the Prometheus exposition derives its cumulative
+	// `le`-labeled series from these.
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []int64   `json:"counts,omitempty"`
 }
 
 // BucketCount is one non-empty histogram bucket.
@@ -92,8 +99,12 @@ func summarize(h *HistogramVar) HistogramSummary {
 		P95:   h.Quantile(0.95),
 		P99:   h.Quantile(0.99),
 	}
+	sum.Bounds = append([]float64(nil), h.bounds...)
+	sum.Counts = make([]int64, len(h.counts))
 	for i := range h.counts {
-		n := h.counts[i].Load()
+		sum.Counts[i] = h.counts[i].Load()
+	}
+	for i, n := range sum.Counts {
 		if n == 0 {
 			continue
 		}

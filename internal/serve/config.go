@@ -63,6 +63,15 @@ type Config struct {
 	// oversized body is rejected with 413 before it can exhaust memory.
 	// Defaults to 1 MiB.
 	MaxBodyBytes int64
+
+	// FreshnessWarnFactor and FreshnessStaleFactor are the GET /v1/freshness
+	// classification thresholds, as multiples of each source's fitted mean
+	// update interval ūS: a source whose age exceeds warn·ūS + capture-lag
+	// is "warning", past stale·ūS + capture-lag it is "stale". Defaults
+	// 1.5 and 3.0; equal factors collapse the warning band. Requests may
+	// override both per call (?warn=&stale=).
+	FreshnessWarnFactor  float64
+	FreshnessStaleFactor float64
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +98,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
+	}
+	if c.FreshnessWarnFactor <= 0 {
+		c.FreshnessWarnFactor = 1.5
+	}
+	if c.FreshnessStaleFactor <= 0 {
+		c.FreshnessStaleFactor = 3.0
+	}
+	if c.FreshnessStaleFactor < c.FreshnessWarnFactor {
+		c.FreshnessStaleFactor = c.FreshnessWarnFactor
 	}
 	return c
 }

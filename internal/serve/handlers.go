@@ -7,11 +7,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"time"
 
 	"freshsource/internal/core"
 	"freshsource/internal/dataset"
 	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
+	"freshsource/internal/version"
 )
 
 // SelectRequest is the body of POST /v1/select. Zero values take the
@@ -396,24 +399,41 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness plus the serving generation: its id
-// (bumped by every successful reload swap) and snapshot digest, so an
-// operator can tell from the outside whether a rolled snapshot actually
-// took effect.
+// handleHealthz reports liveness plus the build identity and the serving
+// generation: its id (bumped by every successful reload swap) and snapshot
+// digest, so an operator can tell from the outside which build is serving
+// and whether a rolled snapshot actually took effect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	gen := s.current()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":     "ok",
-		"dataset":    gen.d.Name,
-		"generation": gen.id,
-		"digest":     hex.EncodeToString(gen.digest[:]),
+		"status":         "ok",
+		"dataset":        gen.d.Name,
+		"generation":     gen.id,
+		"digest":         hex.EncodeToString(gen.digest[:]),
+		"version":        version.Version,
+		"commit":         version.Commit,
+		"go":             runtime.Version(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
 	})
 }
 
+// handleMetrics exposes the obs registry. The default is the Prometheus
+// text exposition format (what a scraper expects on /metrics); the full
+// structured snapshot — including raw histogram bucket layouts — remains
+// available as JSON under ?format=json for the bench harness and humans.
+// Runtime gauges (heap, goroutines, mallocs) are captured per scrape, so
+// both views always carry current process stats.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := obs.Active().Snapshot()
-	w.Header().Set("Content-Type", "application/json")
-	snap.WriteJSON(w)
+	reg := obs.Active()
+	obs.CaptureRuntime(reg)
+	snap := reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	snap.WritePrometheus(w)
 }
 
 // emptyNotNil pins empty slices to `[]` (not `null`) in responses, keeping

@@ -17,6 +17,7 @@ import (
 	"freshsource/internal/dataset"
 	"freshsource/internal/obs"
 	"freshsource/internal/timeline"
+	"freshsource/internal/version"
 )
 
 // fixture: one small BL-like dataset per test binary (same shape as the
@@ -289,12 +290,22 @@ func TestInfoEndpoints(t *testing.T) {
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), `"ok"`) {
 		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())
 	}
+	var health map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health["version"] != version.Version || health["commit"] != version.Commit {
+		t.Errorf("healthz build identity: %v", health)
+	}
+	if up, ok := health["uptime_seconds"].(float64); !ok || up < 0 {
+		t.Errorf("healthz uptime: %v", health["uptime_seconds"])
+	}
 
-	// The warm-registry hit rate must be visible on /metrics.
+	// The warm-registry hit rate must be visible on /metrics?format=json.
 	postJSON(t, srv.Handler(), "/v1/select", `{}`)
 	postJSON(t, srv.Handler(), "/v1/select", `{}`)
 	rec = httptest.NewRecorder()
-	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics?format=json", nil))
 	var snap obs.Snapshot
 	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
 		t.Fatal(err)
@@ -304,6 +315,29 @@ func TestInfoEndpoints(t *testing.T) {
 	}
 	if snap.Counters["serve.registry.trained_misses"] < 1 {
 		t.Errorf("metrics should expose the startup fit, got %v", snap.Counters["serve.registry.trained_misses"])
+	}
+	if snap.Gauges["proc.heap_alloc_bytes"] <= 0 {
+		t.Errorf("metrics should capture runtime gauges, got %v", snap.Gauges["proc.heap_alloc_bytes"])
+	}
+
+	// The default /metrics view is the Prometheus text exposition.
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != obs.PrometheusContentType {
+		t.Errorf("metrics content type: %q", ct)
+	}
+	doc := rec.Body.String()
+	if n, err := obs.ValidatePrometheus(doc); err != nil || n == 0 {
+		t.Fatalf("metrics exposition invalid (%d samples): %v", n, err)
+	}
+	for _, want := range []string{
+		"# TYPE serve_registry_result_hits counter",
+		"# TYPE http_select_seconds histogram",
+		`http_select_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(doc, want) {
+			t.Errorf("exposition missing %q", want)
+		}
 	}
 }
 

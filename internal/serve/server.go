@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"freshsource/internal/dataset"
 	"freshsource/internal/modelcache"
@@ -36,8 +37,9 @@ type generation struct {
 //	POST /v1/quality  evaluate an explicit candidate set (gated, timed out)
 //	GET  /v1/sources  describe the loaded snapshot
 //	POST /v1/reload   stage, validate, fit and swap in a new snapshot
-//	GET  /healthz     liveness + serving generation
-//	GET  /metrics     obs registry snapshot as JSON
+//	GET  /v1/freshness classify every source fresh/warning/stale
+//	GET  /healthz     liveness + build version + serving generation
+//	GET  /metrics     Prometheus text exposition (?format=json for the raw snapshot)
 type Server struct {
 	cfg  Config
 	mc   *modelcache.Cache
@@ -45,6 +47,9 @@ type Server struct {
 	gate *Gate
 	mux  *http.ServeMux
 	addr atomic.Value // string; bound address once serving
+
+	// start anchors the uptime reported by /healthz.
+	start time.Time
 
 	// life scopes every registry's detached fits; stop cancels them all
 	// on shutdown.
@@ -74,11 +79,12 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	}
 	life, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:  cfg,
-		mc:   mc,
-		gate: NewGate(cfg.MaxInflight),
-		life: life,
-		stop: stop,
+		cfg:   cfg,
+		mc:    mc,
+		gate:  NewGate(cfg.MaxInflight),
+		life:  life,
+		stop:  stop,
+		start: time.Now(),
 	}
 	gen, err := s.buildGeneration(context.Background(), 1, d)
 	if err != nil {
@@ -92,6 +98,7 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/quality", obs.Instrument("quality", s.gated(http.HandlerFunc(s.handleQuality))))
 	s.mux.Handle("/v1/sources", obs.Instrument("sources", http.HandlerFunc(s.handleSources)))
 	s.mux.Handle("/v1/reload", obs.Instrument("reload", http.HandlerFunc(s.handleReload)))
+	s.mux.Handle("/v1/freshness", obs.Instrument("freshness", http.HandlerFunc(s.handleFreshness)))
 	s.mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("/metrics", obs.Instrument("metrics", http.HandlerFunc(s.handleMetrics)))
 	return s, nil

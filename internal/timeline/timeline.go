@@ -119,6 +119,18 @@ func (l *Log) Between(lo, hi Tick) []Event {
 	return l.events[i:j]
 }
 
+// LastEventAt returns the tick of the last event at or before t, and false
+// when the log holds no event in (-∞, t] — the freshness monitor's "last
+// successful capture" lookup.
+func (l *Log) LastEventAt(t Tick) (Tick, bool) {
+	l.ensureSorted()
+	i := sort.Search(len(l.events), func(k int) bool { return l.events[k].At > t })
+	if i == 0 {
+		return 0, false
+	}
+	return l.events[i-1].At, true
+}
+
 // EntityState is the state of one entity in a snapshot.
 type EntityState struct {
 	Entity EntityID

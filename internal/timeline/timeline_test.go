@@ -52,6 +52,33 @@ func TestBetween(t *testing.T) {
 	}
 }
 
+func TestLastEventAt(t *testing.T) {
+	l := NewLog()
+	if _, ok := l.LastEventAt(100); ok {
+		t.Error("empty log should report no last event")
+	}
+	for _, at := range []Tick{2, 5, 5, 9} {
+		l.Append(Event{Entity: 1, Kind: Update, At: at})
+	}
+	cases := []struct {
+		at   Tick
+		want Tick
+		ok   bool
+	}{
+		{1, 0, false}, // before the first event
+		{2, 2, true},  // exact hit
+		{7, 5, true},  // between events
+		{9, 9, true},
+		{50, 9, true}, // past the end
+	}
+	for _, c := range cases {
+		got, ok := l.LastEventAt(c.at)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("LastEventAt(%d) = (%d, %v), want (%d, %v)", c.at, got, ok, c.want, c.ok)
+		}
+	}
+}
+
 func TestMaterializeLifecycle(t *testing.T) {
 	l := NewLog()
 	l.Append(Event{Entity: 1, Kind: Appear, At: 0})
