@@ -11,6 +11,16 @@ COVER_FLOOR = 70
 # regressions, not 10% jitter.
 BENCH_TOLERANCE = 0.5
 
+# Allowed fractional allocs/op growth in `make bench-check`. Much tighter
+# than the time gate: allocation counts are near-deterministic, and a
+# zero-alloc baseline (the Scale probe path) is pinned exactly.
+BENCH_ALLOC_TOLERANCE = 0.25
+
+# Benchmark corpus size: quick runs the 64- and 1k-candidate Scale
+# fixtures; full adds the 15,275-source paper corpus (minutes, not
+# seconds — use it when refreshing BENCH_selection.json).
+BENCH_SCALE ?= quick
+
 # Allowed fractional slowdown in `make servebench-check`. Even more
 # generous: serving quantiles come from a short live load against a
 # spawned daemon, so the gate only catches order-of-magnitude blowups.
@@ -71,26 +81,36 @@ cover:
 	awk "BEGIN {exit !($$total >= $(COVER_FLOOR))}" || \
 		{ echo "cover: total coverage $$total% below floor $(COVER_FLOOR)%"; exit 1; }
 
-# Selection hot-path benchmarks → BENCH_selection.json (ns/op per variant
-# plus speedups of each accelerated path over its sequential baseline).
+# The benchmarks behind bench / bench-smoke / bench-check: the selection
+# variant families, the estimator micro-benches, and the Scale family
+# (64/1k/15k-candidate corpora; 15k gated on BENCH_SCALE=full).
+BENCH_RE = BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew|BenchmarkScale|BenchmarkCachedOracle
+BENCH_PKGS = ./internal/selection ./internal/estimate ./internal/modelcache
+
+# Selection hot-path benchmarks → BENCH_selection.json (ns/op and
+# allocs/op per variant plus speedups of each accelerated path over its
+# sequential baseline). BENCH_SCALE=full includes the 15k paper corpus.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' \
-		./internal/selection ./internal/estimate ./internal/modelcache | tee /tmp/bench_selection.out
+	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -timeout 30m \
+		$(BENCH_PKGS) | tee /tmp/bench_selection.out
 	$(GO) run ./cmd/benchjson -out BENCH_selection.json < /tmp/bench_selection.out
 
 # One-iteration pass over the same benchmarks: CI's compile-and-run gate.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' -benchtime=1x \
-		./internal/selection ./internal/estimate ./internal/modelcache
+	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -benchtime=1x -timeout 30m \
+		$(BENCH_PKGS)
 
 # Bench-regression gate: run the tracked benchmarks fresh and diff against
 # the committed BENCH_selection.json; fails on any slowdown beyond
-# BENCH_TOLERANCE. Refresh the baseline with `make bench` after intended
-# performance changes.
+# BENCH_TOLERANCE or allocs/op growth beyond BENCH_ALLOC_TOLERANCE.
+# Refresh the baseline with `make bench BENCH_SCALE=full` after intended
+# performance changes. Quick runs simply skip the 15k benchmarks — absent
+# benchmarks are compare warnings, not failures.
 bench-check:
-	$(GO) test -run '^$$' -bench 'BenchmarkGreedy|BenchmarkGRASP|BenchmarkQualityMultiAdd|BenchmarkEstimatorNew' \
-		./internal/selection ./internal/estimate ./internal/modelcache | \
-		$(GO) run ./cmd/benchjson -compare BENCH_selection.json -tolerance $(BENCH_TOLERANCE)
+	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH_RE)' -benchmem -timeout 30m \
+		$(BENCH_PKGS) | \
+		$(GO) run ./cmd/benchjson -compare BENCH_selection.json \
+			-tolerance $(BENCH_TOLERANCE) -alloc-tolerance $(BENCH_ALLOC_TOLERANCE)
 
 # Scaled-down paper-experiment benches at the repo root.
 bench-paper:

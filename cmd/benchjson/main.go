@@ -9,7 +9,11 @@
 //
 // With -compare it additionally diffs the fresh run against a previously
 // committed report and exits non-zero when any shared benchmark slowed
-// down by more than -tolerance — CI's bench-regression gate.
+// down by more than -tolerance, or grew its allocs/op past
+// -alloc-tolerance (zero-alloc baselines are pinned exactly) — CI's
+// bench-regression gate. The emitted context records gomaxprocs/numcpu;
+// on single-core runs the gate skips parallel-variant regressions with a
+// logged note, since fan-out cannot pay off without cores.
 //
 // Usage:
 //
@@ -23,6 +27,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strconv"
 
 	"freshsource/internal/benchfmt"
 )
@@ -31,6 +37,7 @@ func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
 	compare := flag.String("compare", "", "reference report to diff against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown per benchmark in compare mode")
+	allocTolerance := flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth in compare mode (zero-alloc baselines are pinned exactly)")
 	flag.Parse()
 
 	rep, err := benchfmt.Parse(os.Stdin)
@@ -38,6 +45,12 @@ func main() {
 		fatal(err)
 	}
 	benchfmt.ComputeSpeedups(&rep)
+	// Record the core budget alongside goos/cpu: parallel-variant speedups
+	// only mean something when the run actually had cores to fan out over,
+	// and the compare gate needs to know (benchjson runs on the machine
+	// that just ran the benchmarks, so this describes the same host).
+	rep.Context["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
+	rep.Context["numcpu"] = strconv.Itoa(runtime.NumCPU())
 
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)
@@ -49,6 +62,15 @@ func main() {
 			fatal(fmt.Errorf("parsing %s: %w", *compare, err))
 		}
 		regs, missing := benchfmt.Compare(ref, rep, *tolerance)
+		if rep.SingleCore() {
+			var skipped []string
+			regs, skipped = benchfmt.SkipParallel(regs)
+			for _, name := range skipped {
+				fmt.Fprintf(os.Stderr, "benchjson: note: skipping parallel-variant gate for %s (single-core run, GOMAXPROCS=%s NumCPU=%s)\n",
+					name, rep.Context["gomaxprocs"], rep.Context["numcpu"])
+			}
+		}
+		allocRegs := benchfmt.CompareAllocs(ref, rep, *allocTolerance)
 		for _, name := range missing {
 			fmt.Fprintf(os.Stderr, "benchjson: warning: %s in %s but absent from this run\n", name, *compare)
 		}
@@ -56,7 +78,11 @@ func main() {
 			fmt.Fprintf(os.Stderr, "benchjson: REGRESSION %s: %.0f ns/op -> %.0f ns/op (%.2fx > %.2fx allowed)\n",
 				r.Name, r.OldNs, r.NewNs, r.Ratio, r.Bound)
 		}
-		if len(regs) > 0 {
+		for _, r := range allocRegs {
+			fmt.Fprintf(os.Stderr, "benchjson: ALLOC REGRESSION %s: %d allocs/op -> %d allocs/op (max %d allowed)\n",
+				r.Name, r.OldAllocs, r.NewAllocs, r.Bound)
+		}
+		if len(regs) > 0 || len(allocRegs) > 0 {
 			os.Exit(1)
 		}
 		fmt.Printf("benchjson: %d/%d benchmarks within %.0f%% of %s\n",

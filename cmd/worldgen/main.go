@@ -8,12 +8,20 @@
 //	worldgen -kind bl
 //	worldgen -kind gdelt -sources 100
 //	worldgen -kind bl -scale 0.25 -seed 7
+//	worldgen -preset paper
+//
+// -preset paper selects the full paper-scale GDELT corpus (15,275
+// heavy-tailed sources over 243 locations × 236 event types); -sources,
+// -scale and -seed still override individual knobs on top of it. For
+// corpora beyond -table sources (default 40) the per-source quality table
+// is truncated to the largest sources plus a size-distribution summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"freshsource/internal/dataset"
 	"freshsource/internal/metrics"
@@ -24,17 +32,33 @@ import (
 func main() {
 	var (
 		kind    = flag.String("kind", "bl", "dataset kind: bl or gdelt")
+		preset  = flag.String("preset", "", "configuration preset: paper (15,275-source GDELT regime)")
 		sources = flag.Int("sources", 0, "override the number of sources (0 = default)")
 		scale   = flag.Float64("scale", 0, "override the entity scale (0 = default)")
 		seed    = flag.Int64("seed", 0, "override the seed (0 = default)")
+		table   = flag.Int("table", 40, "max sources in the per-source quality table (largest first beyond it)")
 		dump    = flag.String("dump", "", "directory to persist the dataset (snapio JSONL format)")
 	)
 	flag.Parse()
 
 	var d *dataset.Dataset
 	var err error
-	switch *kind {
-	case "bl":
+	switch {
+	case *preset == "paper":
+		cfg := dataset.PaperGDELTConfig()
+		if *sources > 0 {
+			cfg.NumSources = *sources
+		}
+		if *scale > 0 {
+			cfg.Scale = *scale
+		}
+		if *seed != 0 {
+			cfg.Seed = *seed
+		}
+		d, err = dataset.GenerateGDELT(cfg)
+	case *preset != "":
+		err = fmt.Errorf("unknown preset %q (want paper)", *preset)
+	case *kind == "bl":
 		cfg := dataset.DefaultBLConfig()
 		if *sources > 0 {
 			cfg.NumSources = *sources
@@ -46,7 +70,7 @@ func main() {
 			cfg.Seed = *seed
 		}
 		d, err = dataset.GenerateBL(cfg)
-	case "gdelt":
+	case *kind == "gdelt":
 		cfg := dataset.DefaultGDELTConfig()
 		if *sources > 0 {
 			cfg.NumSources = *sources
@@ -80,8 +104,31 @@ func main() {
 	fmt.Printf("alive at t0: %d; alive at horizon-1: %d; world events: %d\n",
 		w.AliveCount(d.T0, nil), w.AliveCount(w.Horizon()-1, nil), w.Log().Len())
 
+	// At paper scale the per-source quality table would be tens of
+	// thousands of rows (and as many full quality evaluations); truncate to
+	// the largest sources and summarize the size distribution instead.
+	show := d.Sources
+	sizes := d.SizeAt(d.T0)
+	if len(d.Sources) > *table {
+		idx := d.LargestSources(*table)
+		show = make([]*source.Source, len(idx))
+		for i, j := range idx {
+			show[i] = d.Sources[j]
+		}
+		sorted := append([]int(nil), sizes...)
+		sort.Ints(sorted)
+		pct := func(p float64) int { return sorted[int(p*float64(len(sorted)-1))] }
+		var total int
+		for _, s := range sizes {
+			total += s
+		}
+		fmt.Printf("\nsource sizes @t0: total %d, p50 %d, p90 %d, p99 %d, max %d (heavy tail over %d sources)\n",
+			total, pct(0.50), pct(0.90), pct(0.99), sorted[len(sorted)-1], len(sizes))
+		fmt.Printf("showing the %d largest of %d sources (use -table to widen)\n", len(show), len(d.Sources))
+	}
+
 	fmt.Printf("\n%-12s %10s %8s %9s %9s %9s\n", "source", "size@t0", "interval", "coverage", "freshness", "accuracy")
-	for _, s := range d.Sources {
+	for _, s := range show {
 		q := metrics.QualityAt(w, []*source.Source{s}, d.T0, nil)
 		fmt.Printf("%-12s %10d %8d %9.4f %9.4f %9.4f\n",
 			s.Name(), s.SnapshotAt(d.T0).Size(), s.UpdateInterval(),

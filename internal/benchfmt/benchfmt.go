@@ -87,6 +87,17 @@ type Regression struct {
 	Bound float64 // 1 + tolerance
 }
 
+// AllocRegression is one benchmark whose allocs/op grew past the
+// tolerance. A zero-alloc reference admits no growth at any tolerance:
+// zero-allocation paths are pinned exactly, since even one allocation per
+// op is a qualitative change (a pool stopped reusing, a value escaped).
+type AllocRegression struct {
+	Name      string
+	OldAllocs int64
+	NewAllocs int64
+	Bound     int64 // max admissible NewAllocs
+}
+
 var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // Parse scans `go test -bench` output into a report (context lines and
@@ -181,4 +192,59 @@ func Compare(ref, fresh Report, tolerance float64) (regs []Regression, missing [
 		}
 	}
 	return regs, missing
+}
+
+// CompareAllocs diffs allocs/op across runs: every benchmark reporting
+// allocations in both must satisfy new ≤ ⌊old·(1+tolerance)⌋. Unlike the
+// ns/op gate this is near-deterministic (allocation counts don't jitter
+// with machine load), so the tolerance only absorbs iteration-count
+// rounding; a reference of zero allocs/op is pinned exactly. Benchmarks
+// without allocation columns on either side are ignored.
+func CompareAllocs(ref, fresh Report, tolerance float64) []AllocRegression {
+	freshAllocs := make(map[string]int64, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		if b.AllocsPerOp != nil {
+			freshAllocs[b.Name] = *b.AllocsPerOp
+		}
+	}
+	var regs []AllocRegression
+	for _, b := range ref.Benchmarks {
+		if b.AllocsPerOp == nil {
+			continue
+		}
+		n, ok := freshAllocs[b.Name]
+		if !ok {
+			continue
+		}
+		bound := int64(float64(*b.AllocsPerOp) * (1 + tolerance))
+		if n > bound {
+			regs = append(regs, AllocRegression{
+				Name: b.Name, OldAllocs: *b.AllocsPerOp, NewAllocs: n, Bound: bound,
+			})
+		}
+	}
+	return regs
+}
+
+// SingleCore reports whether the run had one usable core, per the
+// gomaxprocs/numcpu context benchjson records. Parallel-variant speedups
+// are meaningless there — the fan-out pays coordination cost with no
+// parallelism to buy — so the compare gate skips regressions on variants
+// named "parallel" for single-core runs.
+func (r Report) SingleCore() bool {
+	return r.Context["gomaxprocs"] == "1" || r.Context["numcpu"] == "1"
+}
+
+// SkipParallel partitions regressions into those still gated and the
+// parallel-variant ones to waive on a single-core run (the benchmark's
+// variant component contains "parallel").
+func SkipParallel(regs []Regression) (kept []Regression, skipped []string) {
+	for _, r := range regs {
+		if strings.Contains(r.Name, "parallel") {
+			skipped = append(skipped, r.Name)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	return kept, skipped
 }

@@ -145,6 +145,71 @@ func TestCompareReportsMissing(t *testing.T) {
 	}
 }
 
+func allocs(n int64) *int64 { return &n }
+
+func TestCompareAllocs(t *testing.T) {
+	ref := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleProbe/1k", NsPerOp: 1500, AllocsPerOp: allocs(0)},
+		{Name: "ScaleCELF/1k", NsPerOp: 1.5e6, AllocsPerOp: allocs(1000)},
+		{Name: "Greedy/seq", NsPerOp: 1e6}, // no alloc column: ignored
+	}}
+	same := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleProbe/1k", NsPerOp: 1500, AllocsPerOp: allocs(0)},
+		{Name: "ScaleCELF/1k", NsPerOp: 1.5e6, AllocsPerOp: allocs(1200)},
+		{Name: "Greedy/seq", NsPerOp: 1e6, AllocsPerOp: allocs(50)},
+	}}
+	if regs := CompareAllocs(ref, same, 0.25); len(regs) != 0 {
+		t.Errorf("within-tolerance growth flagged: %+v", regs)
+	}
+	grown := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleCELF/1k", NsPerOp: 1.5e6, AllocsPerOp: allocs(1300)},
+	}}
+	regs := CompareAllocs(ref, grown, 0.25)
+	if len(regs) != 1 || regs[0].Name != "ScaleCELF/1k" || regs[0].Bound != 1250 {
+		t.Errorf("26%% alloc growth not flagged at 25%% tolerance: %+v", regs)
+	}
+}
+
+// TestCompareAllocsPinsZero is the acceptance check for the zero-alloc
+// probe path: one allocation per op against a zero baseline fails at any
+// tolerance.
+func TestCompareAllocsPinsZero(t *testing.T) {
+	ref := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleProbe/15k", NsPerOp: 1600, AllocsPerOp: allocs(0)},
+	}}
+	leaky := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleProbe/15k", NsPerOp: 1600, AllocsPerOp: allocs(1)},
+	}}
+	if regs := CompareAllocs(ref, leaky, 10.0); len(regs) != 1 {
+		t.Errorf("1 alloc/op against zero-alloc baseline not flagged: %+v", regs)
+	}
+	if regs := CompareAllocs(ref, ref, 0); len(regs) != 0 {
+		t.Errorf("zero against zero flagged: %+v", regs)
+	}
+}
+
+func TestSingleCoreSkipsParallel(t *testing.T) {
+	single := Report{Context: map[string]string{"gomaxprocs": "1", "numcpu": "1"}}
+	multi := Report{Context: map[string]string{"gomaxprocs": "16", "numcpu": "16"}}
+	bare := Report{Context: map[string]string{}}
+	if !single.SingleCore() || multi.SingleCore() || bare.SingleCore() {
+		t.Errorf("SingleCore: single=%v multi=%v bare=%v",
+			single.SingleCore(), multi.SingleCore(), bare.SingleCore())
+	}
+
+	regs := []Regression{
+		{Name: "Greedy/parallel+incr", Ratio: 2},
+		{Name: "Greedy/seq", Ratio: 2},
+	}
+	kept, skipped := SkipParallel(regs)
+	if len(kept) != 1 || kept[0].Name != "Greedy/seq" {
+		t.Errorf("kept: %+v", kept)
+	}
+	if len(skipped) != 1 || skipped[0] != "Greedy/parallel+incr" {
+		t.Errorf("skipped: %v", skipped)
+	}
+}
+
 // TestServingRoundTrip pins the BENCH_serving.json schema: a report with a
 // serving extension survives a JSON round trip, and a reader that only
 // knows the base schema (the compare gate) still sees the benchmarks.

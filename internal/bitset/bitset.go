@@ -161,28 +161,47 @@ func UnionCount(s, t *Set) int {
 }
 
 // IntersectCount returns |s ∩ t| without materialising the intersection.
+// The loop is 4-way unrolled: four independent popcount chains keep the
+// CPU's popcount unit busy instead of serialising on one accumulator.
 func IntersectCount(s, t *Set) int {
 	s.sameUniverse(t)
-	c := 0
-	for i, w := range s.words {
-		c += bits.OnesCount64(w & t.words[i])
+	sw, tw := s.words, t.words
+	var c0, c1, c2, c3 int
+	i := 0
+	for ; i+4 <= len(sw); i += 4 {
+		c0 += bits.OnesCount64(sw[i] & tw[i])
+		c1 += bits.OnesCount64(sw[i+1] & tw[i+1])
+		c2 += bits.OnesCount64(sw[i+2] & tw[i+2])
+		c3 += bits.OnesCount64(sw[i+3] & tw[i+3])
 	}
-	return c
+	for ; i < len(sw); i++ {
+		c0 += bits.OnesCount64(sw[i] & tw[i])
+	}
+	return c0 + c1 + c2 + c3
 }
 
 // IntersectAndNotCount returns |a ∩ b \ c| without materialising any
 // intermediate set — a single fused pass of popcount(a ∧ b ∧ ¬c) per word.
 // It is the kernel of the incremental quality estimators: the number of
 // entities a candidate signature a contributes to a domain mask b beyond an
-// already-unioned signature c.
+// already-unioned signature c. Like IntersectCount the pass is 4-way
+// unrolled with independent accumulators.
 func IntersectAndNotCount(a, b, c *Set) int {
 	a.sameUniverse(b)
 	a.sameUniverse(c)
-	n := 0
-	for i, w := range a.words {
-		n += bits.OnesCount64(w & b.words[i] &^ c.words[i])
+	aw, bw, cw := a.words, b.words, c.words
+	var n0, n1, n2, n3 int
+	i := 0
+	for ; i+4 <= len(aw); i += 4 {
+		n0 += bits.OnesCount64(aw[i] & bw[i] &^ cw[i])
+		n1 += bits.OnesCount64(aw[i+1] & bw[i+1] &^ cw[i+1])
+		n2 += bits.OnesCount64(aw[i+2] & bw[i+2] &^ cw[i+2])
+		n3 += bits.OnesCount64(aw[i+3] & bw[i+3] &^ cw[i+3])
 	}
-	return n
+	for ; i < len(aw); i++ {
+		n0 += bits.OnesCount64(aw[i] & bw[i] &^ cw[i])
+	}
+	return n0 + n1 + n2 + n3
 }
 
 // Words returns a copy of the set's 64-bit backing words, least-significant

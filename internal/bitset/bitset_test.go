@@ -271,6 +271,28 @@ func TestIntersectAndNotCount(t *testing.T) {
 	}
 }
 
+// TestUnrolledKernelTails sweeps universe sizes straddling the 4-word
+// unroll boundary of the count kernels — word counts ≡ 0..3 (mod 4) plus
+// the empty set — so the unrolled body and the remainder loop are each
+// verified against a reference computed via the materializing set ops.
+func TestUnrolledKernelTails(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	sizes := []int{0, 1, 63, 64, 65, 127, 128, 129, 191, 192, 193,
+		255, 256, 257, 319, 320, 321, 511, 512, 513}
+	for _, n := range sizes {
+		for trial := 0; trial < 4; trial++ {
+			a, b, c := randSet(r, n), randSet(r, n), randSet(r, n)
+			if got, want := IntersectCount(a, b), Intersect(a, b).Count(); got != want {
+				t.Errorf("n=%d: IntersectCount = %d, want %d", n, got, want)
+			}
+			got := IntersectAndNotCount(a, b, c)
+			if want := Difference(Intersect(a, b), c).Count(); got != want {
+				t.Errorf("n=%d: IntersectAndNotCount = %d, want %d", n, got, want)
+			}
+		}
+	}
+}
+
 func TestQuickIntersectAndNotCount(t *testing.T) {
 	// Kernel count = |a ∩ b \ c| materialised the slow way.
 	f := func(seed int64) bool {

@@ -177,7 +177,45 @@ func NewFit(ctx context.Context, w *world.World, srcs []*source.Source, t0, maxT
 		}
 	}
 	profSpan.EndWithCount(obs.Counter("estimate.fit.profiles"), int64(len(srcs)))
+	e.compactTables()
 	return e, nil
+}
+
+// compactTables repacks every candidate's tabulated effectiveness tables
+// and coverage flags into two contiguous arenas (one []float64, one []bool)
+// ordered by candidate index. Per-candidate fit allocates each table
+// separately, scattering 15k×3 small slices across the heap; the arena puts
+// the data the selection probe walks in candidate order into sequential
+// memory and drops the allocation count to two. Each candidate's slices are
+// re-sliced full-capacity views into the arena, so pointer identity of
+// &c.gi[0] etc. is stable afterwards — AddFrequencyVariants copies these
+// slice headers, which is why the repack must run before variants are added
+// (both fit and cache-load paths do; the aliasing is pinned by
+// TestFrequencyVariantsShareTables).
+func (e *Estimator) compactTables() {
+	var nf, nb int
+	for _, c := range e.cands {
+		nf += len(c.gi) + len(c.gd) + len(c.gu)
+		nb += len(c.covers)
+	}
+	if nf == 0 && nb == 0 {
+		return
+	}
+	fa := make([]float64, 0, nf)
+	ba := make([]bool, 0, nb)
+	takeF := func(s []float64) []float64 {
+		off := len(fa)
+		fa = append(fa, s...)
+		return fa[off:len(fa):len(fa)]
+	}
+	for _, c := range e.cands {
+		c.gi = takeF(c.gi)
+		c.gd = takeF(c.gd)
+		c.gu = takeF(c.gu)
+		off := len(ba)
+		ba = append(ba, c.covers...)
+		c.covers = ba[off:len(ba):len(ba)]
+	}
 }
 
 // allocModelSlots pre-sizes the per-point model, mask and lookup-table
@@ -404,6 +442,10 @@ func (e *Estimator) checkTicks(ts []timeline.Tick) {
 
 type missBuffers struct {
 	ins, del, upd []float64
+	// cnt backs the adjusted per-point t0 count triple of the incremental
+	// add path (3·|points| ints), so a probe borrows it from the pool
+	// instead of allocating.
+	cnt []int
 	// steps counts Eq. 12–19 recurrence iterations and candTerms the
 	// per-covering-candidate effectiveness terms, accumulated across
 	// qualityAt calls and flushed to obs counters by QualityMulti.
@@ -422,6 +464,7 @@ func (e *Estimator) getScratch() *missBuffers {
 		ins: make([]float64, span),
 		del: make([]float64, span),
 		upd: make([]float64, span),
+		cnt: make([]int, 3*len(e.points)),
 	}
 }
 
@@ -454,14 +497,35 @@ func (e *Estimator) candidateMiss(c *Candidate, t timeline.Tick, dt0 int, missIn
 
 // qualityAt evaluates Equations 12–19 at one tick. covering[j] lists the
 // set's candidates that observe point j. base, when non-nil, supplies the
-// covering lists' pre-folded miss products for this tick (copied instead of
-// recomputed). extra, when non-nil, is one more candidate layered on top
+// covering lists' pre-folded miss products for this tick, read in place
+// with extra's terms applied on the fly — the probe never copies or writes
+// a miss buffer. extra, when non-nil, is one more candidate layered on top
 // (the incremental add path) whose effectiveness terms apply after
-// covering[j]'s — the same order as a from-scratch evaluation of the set
-// with extra appended last; scratch holds reusable buffers.
+// covering[j]'s — the same order, and op for op the same float sequence, as
+// a from-scratch evaluation of the set with extra appended last; scratch
+// holds reusable buffers for the from-scratch path.
 func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, covering [][]*Candidate, base *tickMiss, extra *Candidate, scratch *missBuffers) QualityEstimate {
 	var omega, covered, up, size float64
 	dt0 := int(t - e.T0)
+
+	// The extra candidate's alignment is per-tick, not per-point: hoist it
+	// (mirrors candidateMiss — eff(τ) = tab[ts−τ] for τ ≤ ts, zero beyond).
+	var xgi, xgd, xgu []float64
+	var xcv float64
+	xiMax, xd0 := -1, 0
+	if extra != nil {
+		ts := extra.Profile.TS(t)
+		if e.NoAlignment {
+			ts = t
+		}
+		xiMax = int(ts - e.T0 - 1) // largest i with τ = T0+1+i ≤ ts
+		if xiMax >= dt0 {
+			xiMax = dt0 - 1
+		}
+		xd0 = int(ts - e.T0)
+		xgi, xgd, xgu = extra.gi, extra.gd, extra.gu
+		xcv = extra.Profile.CoverageT0
+	}
 
 	for j := range e.points {
 		m := e.models[j]
@@ -478,44 +542,80 @@ func (e *Estimator) qualityAt(t timeline.Tick, covT0, upT0, sizeT0 []int, coveri
 		oldCov := float64(covT0[j]) * survDel[dt0]
 		oldUp := float64(upT0[j]) * survDel[dt0] * survUpd[dt0]
 
-		// Miss probabilities per occurrence index i (τ = T0+1+i):
-		// Π over covering candidates of (1 − eff). One pass per candidate
-		// keeps the loop branch-free (Eq. 9–11).
-		missIns := scratch.ins[:dt0]
-		missDel := scratch.del[:dt0]
-		missUpd := scratch.upd[:dt0]
+		var ins, del, insUp, exUp float64
 		if base != nil {
-			copy(missIns, base.ins[j])
-			copy(missDel, base.del[j])
-			copy(missUpd, base.upd[j])
+			// Fused probe path: read the cached base products in place and
+			// multiply in extra's terms per element — no copy, no store. The
+			// loop splits at the last index extra's terms reach (foldEnd) so
+			// each half stays branch-free.
+			bIns, bDel, bUpd := base.ins[j], base.del[j], base.upd[j]
+			foldEnd := -1
+			if extra != nil && extra.covers[j] {
+				scratch.candTerms += int64(xiMax + 1)
+				if foldEnd = xiMax; foldEnd < -1 {
+					foldEnd = -1
+				}
+			}
+			for i := 0; i <= foldEnd; i++ {
+				d := xd0 - 1 - i
+				mi := bIns[i] * (1 - xgi[d])
+				md := bDel[i] * (1 - xcv*xgd[d])
+				mu := bUpd[i] * (1 - xcv*xgu[d])
+				dtau := dt0 - 1 - i // t − τ
+				sd, su := survDel[dtau], survUpd[dtau]
+				if e.Literal {
+					sd, su = survDel[dt0], survUpd[dt0]
+				}
+				prIns := 1 - mi
+				ins += lamIns[i+1] * survDel[dtau] * prIns
+				del += lamDel[i+1] * (1 - md)
+				insUp += lamIns[i+1] * sd * su * prIns
+				exUp += lamUpd[i+1] * sd * su * (1 - mu)
+			}
+			for i := foldEnd + 1; i < dt0; i++ {
+				dtau := dt0 - 1 - i
+				sd, su := survDel[dtau], survUpd[dtau]
+				if e.Literal {
+					sd, su = survDel[dt0], survUpd[dt0]
+				}
+				prIns := 1 - bIns[i]
+				ins += lamIns[i+1] * survDel[dtau] * prIns
+				del += lamDel[i+1] * (1 - bDel[i])
+				insUp += lamIns[i+1] * sd * su * prIns
+				exUp += lamUpd[i+1] * sd * su * (1 - bUpd[i])
+			}
 		} else {
+			// From-scratch path: fold every covering candidate into the
+			// scratch miss buffers (Eq. 9–11), one pass per candidate, then
+			// run the recurrence.
+			missIns := scratch.ins[:dt0]
+			missDel := scratch.del[:dt0]
+			missUpd := scratch.upd[:dt0]
 			for i := range missIns {
 				missIns[i], missDel[i], missUpd[i] = 1, 1, 1
 			}
 			for _, c := range covering[j] {
 				scratch.candTerms += e.candidateMiss(c, t, dt0, missIns, missDel, missUpd)
 			}
-		}
-		if extra != nil && extra.covers[j] {
-			scratch.candTerms += e.candidateMiss(extra, t, dt0, missIns, missDel, missUpd)
+			if extra != nil && extra.covers[j] {
+				scratch.candTerms += e.candidateMiss(extra, t, dt0, missIns, missDel, missUpd)
+			}
+			for i := 0; i < dt0; i++ {
+				dtau := dt0 - 1 - i // t − τ
+				sd, su := survDel[dtau], survUpd[dtau]
+				if e.Literal {
+					sd, su = survDel[dt0], survUpd[dt0]
+				}
+				prIns := 1 - missIns[i]
+				// Eq. 15, Eq. 19, and the E[InsUp]/E[ExUp] sums, with the
+				// time-varying λi(τ) (seasonal subdomains), λd(τ), λu(τ).
+				ins += lamIns[i+1] * survDel[dtau] * prIns
+				del += lamDel[i+1] * (1 - missDel[i])
+				insUp += lamIns[i+1] * sd * su * prIns
+				exUp += lamUpd[i+1] * sd * su * (1 - missUpd[i])
+			}
 		}
 		scratch.steps += int64(dt0)
-
-		var ins, del, insUp, exUp float64
-		for i := 0; i < dt0; i++ {
-			dtau := dt0 - 1 - i // t − τ
-			sd, su := survDel[dtau], survUpd[dtau]
-			if e.Literal {
-				sd, su = survDel[dt0], survUpd[dt0]
-			}
-			prIns := 1 - missIns[i]
-			// Eq. 15, Eq. 19, and the E[InsUp]/E[ExUp] sums, with the
-			// time-varying λi(τ) (seasonal subdomains), λd(τ), λu(τ).
-			ins += lamIns[i+1] * survDel[dtau] * prIns
-			del += lamDel[i+1] * (1 - missDel[i])
-			insUp += lamIns[i+1] * sd * su * prIns
-			exUp += lamUpd[i+1] * sd * su * (1 - missUpd[i])
-		}
 
 		covered += oldCov + ins
 		up += oldUp + insUp + exUp

@@ -214,5 +214,6 @@ func FromFitted(w *world.World, f *Fitted) (*Estimator, error) {
 		c.gu = tabulate(gu, maxDelay)
 		e.cands[i] = c
 	}
+	e.compactTables()
 	return e, nil
 }

@@ -100,6 +100,41 @@ func TestSetStateConcurrentProbes(t *testing.T) {
 	wg.Wait()
 }
 
+// TestQualityMultiAddIntoReuse: the Into variant must be bit-identical to
+// QualityMultiAdd, reuse the caller's buffer when capacity suffices, and —
+// once the state's per-tick miss tables are warm — allocate nothing. This
+// is the steady-state probe the selection sweeps issue, so zero here is
+// what keeps the whole CELF solve allocation-flat per round.
+func TestQualityMultiAddIntoReuse(t *testing.T) {
+	w := testWorld(t)
+	e := buildEstimator(t, w)
+	ticks := []timeline.Tick{310, 350, 400}
+	st := e.NewSetState([]int{0, 2})
+
+	buf := make([]QualityEstimate, 0, len(ticks))
+	got := e.QualityMultiAddInto(st, 1, ticks, buf)
+	ref := e.QualityMultiAdd(st, 1, ticks)
+	for k := range ticks {
+		if got[k] != ref[k] {
+			t.Fatalf("tick %d: Into %+v != Add %+v", ticks[k], got[k], ref[k])
+		}
+	}
+	if &got[0] != &buf[:1][0] {
+		t.Error("Into did not reuse the caller's buffer")
+	}
+
+	// Warm state + adequate buffer: the probe allocates nothing. The race
+	// runtime allocates for its own bookkeeping, so the pin is unracable.
+	if raceEnabled {
+		return
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		got = e.QualityMultiAddInto(st, 1, ticks, got[:0])
+	}); avg != 0 {
+		t.Errorf("warm QualityMultiAddInto allocates %v per run, want 0", avg)
+	}
+}
+
 // TestQualityMultiStateBitIdentical: the warm-state evaluation path (cached
 // t0 counts + per-tick miss products) must reproduce the from-scratch
 // QualityMulti bit for bit, including on the empty set, and stay identical

@@ -1,0 +1,5 @@
+//go:build !race
+
+package estimate
+
+const raceEnabled = false

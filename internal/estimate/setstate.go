@@ -1,7 +1,7 @@
 package estimate
 
 import (
-	"sync"
+	"sync/atomic"
 
 	"freshsource/internal/bitset"
 	"freshsource/internal/obs"
@@ -41,15 +41,18 @@ type SetState struct {
 	covering [][]*Candidate
 
 	// miss caches the base set's miss-probability products per tick, built
-	// lazily on first probe of each tick: a probe then copies the arrays
+	// lazily on first probe of each tick and indexed by dt = t−T0 (a flat
+	// slice, not a map: the steady-state probe does one atomic load per
+	// tick, no lock and no hashing). A probe then reads the arrays in place
 	// and applies only the added candidate's terms instead of refolding
 	// every covering candidate — the O(|set|·span) → O(span) step.
-	mu   sync.RWMutex
-	miss map[timeline.Tick]*tickMiss
+	miss []atomic.Pointer[tickMiss]
 }
 
 // tickMiss holds, for one tick, the per-point miss-probability products of
-// the base covering lists over occurrence indices 0 … dt0−1.
+// the base covering lists over occurrence indices 0 … dt0−1. The per-point
+// slices share one contiguous backing buffer (one allocation per tick,
+// sequential reads in the recurrence).
 type tickMiss struct {
 	ins, del, upd [][]float64
 }
@@ -58,23 +61,14 @@ type tickMiss struct {
 // first use. Concurrent builders may race benignly; the first stored value
 // wins and all candidates compute identical arrays.
 func (st *SetState) missAt(t timeline.Tick) *tickMiss {
-	st.mu.RLock()
-	m := st.miss[t]
-	st.mu.RUnlock()
-	if m != nil {
+	slot := &st.miss[int(t-st.e.T0)]
+	if m := slot.Load(); m != nil {
 		return m
 	}
-	m = st.e.buildMiss(st.covering, t)
-	st.mu.Lock()
-	if prev := st.miss[t]; prev != nil {
-		m = prev
-	} else {
-		if st.miss == nil {
-			st.miss = make(map[timeline.Tick]*tickMiss)
-		}
-		st.miss[t] = m
+	m := st.e.buildMiss(st.covering, t)
+	if !slot.CompareAndSwap(nil, m) {
+		m = slot.Load()
 	}
-	st.mu.Unlock()
 	return m
 }
 
@@ -89,13 +83,17 @@ func (e *Estimator) buildMiss(covering [][]*Candidate, t timeline.Tick) *tickMis
 		del: make([][]float64, nPts),
 		upd: make([][]float64, nPts),
 	}
+	buf := make([]float64, 3*nPts*dt0)
+	for i := range buf {
+		buf[i] = 1
+	}
+	take := func() []float64 {
+		s := buf[:dt0:dt0]
+		buf = buf[dt0:]
+		return s
+	}
 	for j := range e.points {
-		ins := make([]float64, dt0)
-		del := make([]float64, dt0)
-		upd := make([]float64, dt0)
-		for i := 0; i < dt0; i++ {
-			ins[i], del[i], upd[i] = 1, 1, 1
-		}
+		ins, del, upd := take(), take(), take()
 		for _, c := range covering[j] {
 			e.candidateMiss(c, t, dt0, ins, del, upd)
 		}
@@ -112,7 +110,11 @@ func (st *SetState) Set() []int { return st.set }
 // same as the set-dependent prefix of QualityMulti: one signature union
 // pass plus 3·|points| intersect counts.
 func (e *Estimator) NewSetState(set []int) *SetState {
-	st := &SetState{e: e, set: append([]int(nil), set...)}
+	st := &SetState{
+		e:    e,
+		set:  append([]int(nil), set...),
+		miss: make([]atomic.Pointer[tickMiss], int(e.MaxT-e.T0)+1),
+	}
 
 	// Union signatures over the set (deduplicating shared signatures is
 	// unnecessary: union is idempotent).
@@ -199,15 +201,27 @@ func (e *Estimator) QualityMultiState(st *SetState, ts []timeline.Tick) []Qualit
 // x must not already be a member of st's set (see the SetState
 // invariants). Safe for concurrent calls sharing one state.
 func (e *Estimator) QualityMultiAdd(st *SetState, x int, ts []timeline.Tick) []QualityEstimate {
+	return e.QualityMultiAddInto(st, x, ts, nil)
+}
+
+// QualityMultiAddInto is QualityMultiAdd writing into out when it has
+// capacity for len(ts) estimates (allocating otherwise) — the zero-alloc
+// probe entry point: with a warmed state (every tick's miss products built)
+// and a reusable out buffer, the steady-state probe performs no heap
+// allocation at all. It returns the filled slice.
+func (e *Estimator) QualityMultiAddInto(st *SetState, x int, ts []timeline.Tick, out []QualityEstimate) []QualityEstimate {
 	sp := obs.Start("estimate.quality_add.seconds")
 	e.checkTicks(ts)
 	xc := e.cands[x]
 	xp := xc.Profile
 
-	// Adjusted t0 counts: cached count + what x adds beyond the union.
+	scratch := e.getScratch()
+
+	// Adjusted t0 counts: cached count + what x adds beyond the union. The
+	// count buffers live in the pooled scratch, not a per-probe allocation.
 	nPts := len(e.points)
-	counts := make([]int, 3*nPts)
-	covT0, upT0, sizeT0 := counts[:nPts:nPts], counts[nPts:2*nPts:2*nPts], counts[2*nPts:]
+	counts := scratch.cnt
+	covT0, upT0, sizeT0 := counts[:nPts:nPts], counts[nPts:2*nPts:2*nPts], counts[2*nPts:3*nPts]
 	for j := range e.points {
 		if st.uB == nil {
 			covT0[j] = bitset.IntersectCount(xp.Bcov, e.masks[j])
@@ -220,8 +234,11 @@ func (e *Estimator) QualityMultiAdd(st *SetState, x int, ts []timeline.Tick) []Q
 		}
 	}
 
-	scratch := e.getScratch()
-	out := make([]QualityEstimate, len(ts))
+	if cap(out) >= len(ts) {
+		out = out[:len(ts)]
+	} else {
+		out = make([]QualityEstimate, len(ts))
+	}
 	for k, t := range ts {
 		out[k] = e.qualityAt(t, covT0, upT0, sizeT0, st.covering, st.missAt(t), xc, scratch)
 	}

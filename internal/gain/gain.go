@@ -11,6 +11,7 @@ package gain
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"freshsource/internal/estimate"
@@ -282,6 +283,11 @@ type Profit struct {
 	// calls is atomic: parallel candidate sweeps evaluate the oracle from
 	// many goroutines at once, and the count must stay exact.
 	calls atomic.Int64
+
+	// probeBuf pools the per-tick estimate buffers of ValueAdd (as slice
+	// pointers, so Get/Put don't box a header), keeping the steady-state
+	// probe allocation-free.
+	probeBuf sync.Pool
 }
 
 // SetWeights installs a non-negative weighting over the time points of
@@ -312,18 +318,24 @@ func (p *Profit) SetWeights(ws []float64) error {
 	return nil
 }
 
-// aggregate combines per-tick gains under the configured weighting.
-func (p *Profit) aggregate(gains []float64) float64 {
-	if p.weights == nil {
-		var g float64
-		for _, v := range gains {
-			g += v
-		}
-		return g / float64(len(gains))
-	}
+// gainOf streams the per-tick gain evaluations straight into the
+// configured aggregate (plain or weighted average) and applies the [0,1]
+// rescaling — no intermediate gains slice, same additions in the same
+// order as materialising one.
+func (p *Profit) gainOf(qs []estimate.QualityEstimate) float64 {
 	var g float64
-	for i, v := range gains {
-		g += p.weights[i] * v
+	if p.weights == nil {
+		for _, q := range qs {
+			g += p.Gain.Eval(q)
+		}
+		g /= float64(len(qs))
+	} else {
+		for i, q := range qs {
+			g += p.weights[i] * p.Gain.Eval(q)
+		}
+	}
+	if mg := p.Gain.MaxGain(); mg > 0 {
+		g /= mg
 	}
 	return g
 }
@@ -358,14 +370,7 @@ func (p *Profit) Value(set []int) float64 {
 // profitOf turns per-tick quality estimates and an unscaled set cost into
 // the rescaled profit.
 func (p *Profit) profitOf(qs []estimate.QualityEstimate, cost float64) float64 {
-	gains := make([]float64, len(qs))
-	for i, q := range qs {
-		gains[i] = p.Gain.Eval(q)
-	}
-	g := p.aggregate(gains)
-	if mg := p.Gain.MaxGain(); mg > 0 {
-		g /= mg
-	}
+	g := p.gainOf(qs)
 	var c float64
 	if p.Cost != nil {
 		c = p.CostWeight * cost / p.Cost.Total()
@@ -402,27 +407,25 @@ func (p *Profit) ValueAdd(state any, x int) float64 {
 	st := state.(*ProfitState)
 	p.calls.Add(1)
 	obs.Counter("gain.profit.value_add_calls").Inc()
-	qs := p.Est.QualityMultiAdd(st.st, x, p.Ticks)
+	bp, _ := p.probeBuf.Get().(*[]estimate.QualityEstimate)
+	if bp == nil {
+		bp = new([]estimate.QualityEstimate)
+	}
+	qs := p.Est.QualityMultiAddInto(st.st, x, p.Ticks, *bp)
 	cost := st.cost
 	if p.Cost != nil {
 		cost += p.Cost.Cost(x)
 	}
-	return p.profitOf(qs, cost)
+	v := p.profitOf(qs, cost)
+	*bp = qs[:0]
+	p.probeBuf.Put(bp)
+	return v
 }
 
 // GainOnly returns the average rescaled gain of a set (no cost), used for
 // reporting solution quality.
 func (p *Profit) GainOnly(set []int) float64 {
-	qs := p.Est.QualityMulti(set, p.Ticks)
-	gains := make([]float64, len(qs))
-	for i, q := range qs {
-		gains[i] = p.Gain.Eval(q)
-	}
-	g := p.aggregate(gains)
-	if mg := p.Gain.MaxGain(); mg > 0 {
-		g /= mg
-	}
-	return g
+	return p.gainOf(p.Est.QualityMulti(set, p.Ticks))
 }
 
 // AvgMetric returns the average value of a quality metric over Tf for the

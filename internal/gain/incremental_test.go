@@ -57,3 +57,26 @@ func TestProfitValueAddMatchesValue(t *testing.T) {
 		t.Errorf("ValueAdd counted %d calls, want 1", p.Calls())
 	}
 }
+
+// TestProfitValueAddZeroAlloc pins the steady-state probe: once a state's
+// miss tables are warm, ValueAdd runs entirely on pooled scratch and
+// allocates nothing per probe.
+func TestProfitValueAddZeroAlloc(t *testing.T) {
+	e, _ := buildFixture(t)
+	cm, err := NewSharedItemCost(e, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewProfit(e, []timeline.Tick{210, 230, 250}, Linear{Metric: Coverage}, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := p.BeginAdd([]int{0})
+	p.ValueAdd(st, 1) // warm the per-tick miss tables and the probe pool
+	if raceEnabled {
+		t.Skip("race runtime allocates for its own bookkeeping")
+	}
+	if avg := testing.AllocsPerRun(200, func() { p.ValueAdd(st, 1) }); avg != 0 {
+		t.Errorf("warm ValueAdd allocates %v per run, want 0", avg)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package gain
+
+const raceEnabled = false

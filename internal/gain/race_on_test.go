@@ -1,0 +1,8 @@
+//go:build race
+
+package gain
+
+// raceEnabled gates allocation-count assertions: the race runtime adds
+// its own bookkeeping allocations, so zero-alloc pins only hold without
+// instrumentation.
+const raceEnabled = true

@@ -1,7 +1,6 @@
 package selection
 
 import (
-	"container/heap"
 	"math"
 
 	"freshsource/internal/obs"
@@ -13,8 +12,8 @@ import (
 //   - LazyGreedy (CELF): greedy with lazy marginal re-evaluation. For
 //     monotone submodular objectives the marginal gain of a candidate can
 //     only shrink as the solution grows, so a stale upper bound from an
-//     earlier round often suffices to skip re-evaluation. Same output as
-//     Greedy on submodular objectives, far fewer oracle calls.
+//     earlier round often suffices to skip re-evaluation. Byte-identical
+//     output to Greedy on submodular objectives, far fewer oracle calls.
 //
 //   - BudgetedGreedy: the cost-benefit greedy for a knapsack budget βc
 //     (Definition 3's constraint, which the paper's experiments leave
@@ -23,39 +22,108 @@ import (
 //     best feasible singleton — the classic (1−1/√e)-style guarantee
 //     construction.
 
-// marginalItem is a priority-queue entry for lazy greedy.
-type marginalItem struct {
-	idx     int
-	gain    float64
-	round   int // the solution size at which gain was computed
-	heapIdx int
+// celfEntry is one priority-queue entry of the CELF lazy greedy: the last
+// oracle value observed for set ∪ {idx} and the marginal gain it implied,
+// stamped with the solution size (round) it was computed at.
+type celfEntry struct {
+	idx   int32
+	round int32
+	gain  float64
+	val   float64
 }
 
-type marginalHeap []*marginalItem
+// celfBefore is the CELF heap order. The invariant that makes lazy
+// evaluation exact (see DESIGN.md): diminishing marginal gains make every
+// stale gain an upper bound on the candidate's current gain, so the true
+// best candidate can never hide below a fresh top. Priority is
+//
+//	gain desc → round asc → val desc → idx asc
+//
+// gain desc surfaces the most promising bound. round asc breaks gain ties
+// stale-before-fresh: a stale bound tied with a fresh gain might still
+// cover a candidate Greedy would prefer, so it must be recomputed before
+// the fresh entry may win. Among fresh entries (equal round) gain ties are
+// broken by val desc then idx asc, because Greedy's sequential argmax
+// compares oracle values, not gains — two values that round to the same
+// gain against the current solution value are still distinct values, and
+// equal values resolve to the lowest index (Greedy's strict `>` scan).
+func celfBefore(a, b celfEntry) bool {
+	if a.gain != b.gain {
+		return a.gain > b.gain
+	}
+	if a.round != b.round {
+		return a.round < b.round
+	}
+	if a.val != b.val {
+		return a.val > b.val
+	}
+	return a.idx < b.idx
+}
 
-func (h marginalHeap) Len() int            { return len(h) }
-func (h marginalHeap) Less(i, j int) bool  { return h[i].gain > h[j].gain }
-func (h marginalHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
-func (h *marginalHeap) Push(x interface{}) { *h = append(*h, x.(*marginalItem)) }
-func (h *marginalHeap) Pop() interface{} {
+// celfHeap is a value-typed binary max-heap under celfBefore (no
+// container/heap interface boxing on the hot pop/fix path).
+type celfHeap []celfEntry
+
+func (h celfHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		best := l
+		if r := l + 1; r < n && celfBefore(h[r], h[l]) {
+			best = r
+		}
+		if !celfBefore(h[best], h[i]) {
+			return
+		}
+		h[i], h[best] = h[best], h[i]
+		i = best
+	}
+}
+
+func (h celfHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+// pop removes and returns the top entry.
+func (h *celfHeap) pop() celfEntry {
 	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).siftDown(0)
+	return top
 }
 
-// LazyGreedy runs the accelerated greedy. It is exact for Greedy's move
-// sequence when the objective is monotone submodular; on non-submodular
-// objectives it is a heuristic (stale bounds may hide a better candidate).
+// LazyGreedy is the CELF-accelerated greedy: plain Greedy's move sequence
+// driven by a max-heap of stale marginal gains instead of a full candidate
+// rescan per round. On monotone submodular objectives (and any objective
+// with diminishing marginal gains, such as profit = submodular gain −
+// additive cost) the result is byte-identical to Greedy — same Set, same
+// Value — at a fraction of the oracle calls; on objectives without
+// diminishing gains it is a heuristic (a stale bound may hide a better
+// candidate). Feasibility must be downward-closed (supersets of an
+// infeasible set stay infeasible — true of the additive budget and of
+// matroid constraints), as rejected candidates are dropped for good.
+//
+// The initial singleton sweep fans across workers like Greedy's; every
+// subsequent re-evaluation pops the heap sequentially, so Set, Value and
+// OracleCalls are all identical at any worker count.
 func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 	co, rt := traceRun(f, "lazygreedy")
 	stale := obs.Counter("selection.lazygreedy.stale_recomputes")
+	adds := obs.Counter("selection.lazygreedy.adds")
 	ev := newEvaluator(opts)
 	var set []int
 	cur := co.Value(set)
 
-	// Initial bounds: one full singleton sweep.
+	// Initial bounds: one full singleton sweep — exactly Greedy's first
+	// round, so the heap starts from the same values Greedy scans.
 	vals := make([]float64, n)
 	ok := make([]bool, n)
 	probe := beginAdds(co, set)
@@ -71,45 +139,54 @@ func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 	if ev.canceled() {
 		return rt.finishErr(set, cur, ErrCanceled)
 	}
-	h := make(marginalHeap, 0, n)
+	h := make(celfHeap, 0, n)
 	for x := 0; x < n; x++ {
 		if ok[x] {
-			h = append(h, &marginalItem{idx: x, gain: vals[x] - cur, round: 0})
+			h = append(h, celfEntry{idx: int32(x), round: 0, gain: vals[x] - cur, val: vals[x]})
 		}
 	}
-	heap.Init(&h)
+	h.init()
 
-	round := 0
-	for h.Len() > 0 {
+	var round int32
+	for len(h) > 0 {
 		if ev.canceled() {
-			return rt.finishErr(set, co.Value(set), ErrCanceled)
+			// cur is the oracle-exact value of set after every completed
+			// move, so the canceled pair is already consistent.
+			return rt.finishErr(set, cur, ErrCanceled)
 		}
-		top := h[0]
-		if top.gain <= 1e-12 {
-			break // even the most optimistic bound does not improve
+		top := &h[0]
+		if top.gain <= 0 {
+			// Even the most optimistic bound does not improve: Greedy's
+			// stopping condition (no value strictly above cur — a nonzero
+			// float difference never rounds to zero, so gain > 0 ⟺ val > cur).
+			break
 		}
 		if top.round != round {
-			// Stale bound: recompute against the current solution.
-			cand := with(set, top.idx)
+			// Stale bound: recompute against the current solution and
+			// restore the heap order. Infeasible candidates leave for good
+			// (downward-closed feasibility).
+			cand := with(set, int(top.idx))
 			if !co.Feasible(cand) {
-				heap.Pop(&h)
+				h.pop()
 				continue
 			}
-			top.gain = probe.value(cand, top.idx) - cur
+			v := probe.value(cand, int(top.idx))
+			top.val = v
+			top.gain = v - cur
 			top.round = round
 			stale.Inc()
-			heap.Fix(&h, 0)
+			h.siftDown(0)
 			continue
 		}
-		// Fresh and on top: take it.
-		heap.Pop(&h)
-		set = with(set, top.idx)
-		cur += top.gain
+		// Fresh and on top: this is Greedy's argmax. Adopt its oracle value
+		// directly (never cur + gain, which would accumulate rounding).
+		e := h.pop()
+		set = with(set, int(e.idx))
+		cur = e.val
 		round++
+		adds.Inc()
 		probe = beginAdds(co, set)
 	}
-	// cur accumulated incrementally; report the oracle's exact value.
-	cur = co.Value(set)
 	return rt.finish(set, cur)
 }
 

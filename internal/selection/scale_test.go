@@ -1,0 +1,127 @@
+package selection
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"freshsource/internal/matroid"
+)
+
+// requireSameRun asserts two Results from the same algorithm are fully
+// identical: set, bit-identical value and exact oracle-call count.
+func requireSameRun(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Set, got.Set) {
+		t.Errorf("%s: set %v != %v", label, got.Set, want.Set)
+	}
+	if want.Value != got.Value {
+		t.Errorf("%s: value %v != %v (not bit-identical)", label, got.Value, want.Value)
+	}
+	if want.OracleCalls != got.OracleCalls {
+		t.Errorf("%s: oracle calls %d != %d", label, got.OracleCalls, want.OracleCalls)
+	}
+}
+
+// TestScaleDeterminism pins the CELF contract at a paper-ish candidate
+// count: LazyGreedy returns exactly plain Greedy's selection — same set,
+// bit-identical value — while spending strictly fewer oracle calls, and
+// each algorithm's full Result (OracleCalls included) is identical at
+// worker counts 1 and 4. -short trims the instance so the -race run stays
+// cheap.
+func TestScaleDeterminism(t *testing.T) {
+	n := 1200
+	if testing.Short() {
+		n = 300
+	}
+	plain := randomWC(n, 17)
+	// Cap the selection depth: the interesting regime is many candidates
+	// competing for few slots, not ingesting a third of the corpus.
+	plain.maxSet = 24
+	o := &incrWC{wcOracle: *plain}
+
+	type pair struct{ greedy, celf Result }
+	var runs []pair
+	for _, workers := range []int{1, 4} {
+		g := Greedy(o, n, Parallel(workers))
+		l := LazyGreedy(o, n, Parallel(workers))
+		if !reflect.DeepEqual(g.Set, l.Set) {
+			t.Fatalf("workers=%d: celf set %v != greedy set %v", workers, l.Set, g.Set)
+		}
+		if g.Value != l.Value {
+			t.Fatalf("workers=%d: celf value %v != greedy value %v (not bit-identical)",
+				workers, l.Value, g.Value)
+		}
+		if len(g.Set) == 0 {
+			t.Fatal("greedy selected nothing")
+		}
+		if l.OracleCalls >= g.OracleCalls {
+			t.Errorf("workers=%d: celf spent %d oracle calls, want fewer than greedy's %d",
+				workers, l.OracleCalls, g.OracleCalls)
+		}
+		runs = append(runs, pair{greedy: g, celf: l})
+	}
+	for i := 1; i < len(runs); i++ {
+		requireSameRun(t, "greedy across workers", runs[0].greedy, runs[i].greedy)
+		requireSameRun(t, "celf across workers", runs[0].celf, runs[i].celf)
+	}
+}
+
+// TestSampledNeverWorse is the property the sampled neighborhoods
+// guarantee: because the singleton initialization and the delete sweeps
+// stay exhaustive, a sampled run can never return a worse objective than
+// its start point — the best feasible singleton — no matter how little of
+// the add/exchange neighborhood the sample covers.
+func TestSampledNeverWorse(t *testing.T) {
+	const n = 60
+	classOf := make([]int, n)
+	for i := range classOf {
+		classOf[i] = i / 2
+	}
+	pm, err := matroid.OnePerClass(classOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		o := &incrWC{wcOracle: *randomWC(n, seed)}
+		start := math.Inf(-1)
+		for x := 0; x < n; x++ {
+			if o.Feasible([]int{x}) {
+				if v := o.Value([]int{x}); v > start {
+					start = v
+				}
+			}
+		}
+		for _, sample := range []int{4, 16} {
+			ms := MaxSub(o, n, 0.05, Sampled(sample, seed))
+			if ms.Value < start {
+				t.Errorf("seed=%d sample=%d: sampled MaxSub %v below its start %v",
+					seed, sample, ms.Value, start)
+			}
+			mm := MatroidMax(o, n, []matroid.Matroid{pm}, 0.05, Sampled(sample, seed))
+			if mm.Value < start {
+				t.Errorf("seed=%d sample=%d: sampled MatroidMax %v below its start %v",
+					seed, sample, mm.Value, start)
+			}
+			// Sampling draws before the sweep fans out, so a sampled run is
+			// still deterministic in the worker count.
+			requireSameRun(t, "sampled maxsub across workers",
+				ms, MaxSub(o, n, 0.05, Sampled(sample, seed), Parallel(4)))
+		}
+	}
+}
+
+// TestCachedOracleValueAddHitNoAlloc pins the hash-keyed probe path: a
+// memoized ValueAdd hit derives its key incrementally and compares
+// membership by merge-walk, allocating nothing.
+func TestCachedOracleValueAddHitNoAlloc(t *testing.T) {
+	c := Cached(&incrWC{wcOracle: *randomWC(32, 5)})
+	st := c.BeginAdd([]int{1, 2, 3})
+	c.ValueAdd(st, 7) // prime the memo
+	if avg := testing.AllocsPerRun(200, func() { c.ValueAdd(st, 7) }); avg != 0 {
+		t.Errorf("ValueAdd hit allocates %v per op, want 0", avg)
+	}
+	if c.Hits() < 200 {
+		t.Errorf("hits = %d; the probed set should have been memoized", c.Hits())
+	}
+}

@@ -240,9 +240,13 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 	cands := make([][]int, n)
 	for {
 		moved := false
-		// Addition sweep.
+		// Addition sweep, optionally over a sampled neighborhood (the
+		// Sampled option): indices are drawn before the sweep fans out and
+		// the reduction scans them in ascending order, so the sampled path
+		// keeps the deterministic lowest-index tie resolution.
+		addIdx := ev.sampleIdx(n)
 		probe := beginAdds(co, set)
-		ev.sweep(n, func(x int) {
+		ev.sweepOn(n, addIdx, func(x int) {
 			ok[x] = false
 			if member.Contains(x) {
 				return
@@ -258,9 +262,18 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 			return rt.finishErr(set, cur, ErrCanceled)
 		}
 		bestIdx, bestVal := -1, cur
-		for x := 0; x < n; x++ {
+		reduceAdd := func(x int) {
 			if ok[x] && improves(vals[x], cur, eps, denom) && vals[x] > bestVal {
 				bestIdx, bestVal = x, vals[x]
+			}
+		}
+		if addIdx == nil {
+			for x := 0; x < n; x++ {
+				reduceAdd(x)
+			}
+		} else {
+			for _, x := range addIdx {
+				reduceAdd(x)
 			}
 		}
 		if bestIdx >= 0 {
@@ -427,8 +440,11 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		}
 
 		// Ln. 8–10: exchange operation — bring in d, removing at most one
-		// conflicting element per matroid.
-		ev.sweep(g, func(i int) {
+		// conflicting element per matroid. Optionally over a sampled
+		// neighborhood (the Sampled option), drawn sequentially and reduced
+		// in ascending order for determinism at any worker count.
+		exIdx := ev.sampleIdx(g)
+		ev.sweepOn(g, exIdx, func(i int) {
 			ok[i] = false
 			d := ground[i]
 			if member.Contains(d) {
@@ -462,9 +478,18 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 			return rt.finishErr(set, cur, ErrCanceled)
 		}
 		bestI, bestVal = -1, cur
-		for i := 0; i < g; i++ {
+		reduceEx := func(i int) {
 			if ok[i] && improves(vals[i], cur, eps, denom) && vals[i] > bestVal {
 				bestI, bestVal = i, vals[i]
+			}
+		}
+		if exIdx == nil {
+			for i := 0; i < g; i++ {
+				reduceEx(i)
+			}
+		} else {
+			for _, i := range exIdx {
+				reduceEx(i)
 			}
 		}
 		if bestI >= 0 {

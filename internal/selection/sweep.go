@@ -3,10 +3,12 @@ package selection
 import (
 	"context"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
 	"freshsource/internal/obs"
+	"freshsource/internal/stats"
 )
 
 // Options tunes how an algorithm runs; the zero value reproduces the
@@ -18,6 +20,14 @@ type Options struct {
 	// Ctx, when non-nil, lets a run be canceled between (and inside)
 	// candidate sweeps; see Context.
 	Ctx context.Context
+	// Sample, when positive, caps the number of moves the wide local-search
+	// neighborhoods (MaxSub's add sweep, the matroid search's exchange
+	// sweep) examine per round at a uniform random subset of that size; see
+	// Sampled. 0 keeps the exhaustive neighborhoods.
+	Sample int
+	// SampleSeed seeds the neighborhood sampler; runs with equal seeds draw
+	// identical neighborhoods.
+	SampleSeed int64
 }
 
 // Option mutates Options.
@@ -49,6 +59,25 @@ func Context(ctx context.Context) Option {
 	return func(o *Options) { o.Ctx = ctx }
 }
 
+// Sampled makes the wide local-search neighborhoods stochastic: each
+// improvement round of MaxSub's addition sweep and MatroidLocalSearch's
+// exchange sweep examines a uniform random subset of at most size moves
+// instead of all O(n), so a swap round costs O(size) oracle calls at
+// paper-scale candidate counts. The narrow neighborhoods — singleton
+// initialization and deletion sweeps over the current set — stay
+// exhaustive, which preserves the never-worse-than-start guarantee: a
+// sampled search still only ever takes strict improvements from its start
+// point, it just may stop at a weaker local optimum than the exhaustive
+// search.
+//
+// Sampling is deterministic for a fixed seed and independent of the
+// Workers option: indices are drawn sequentially before the sweep fans
+// out, and each sampled neighborhood is evaluated in ascending index order
+// so ties keep resolving to the lowest-index move.
+func Sampled(size int, seed int64) Option {
+	return func(o *Options) { o.Sample, o.SampleSeed = size, seed }
+}
+
 func buildOptions(opts []Option) Options {
 	var o Options
 	for _, fn := range opts {
@@ -61,6 +90,10 @@ func buildOptions(opts []Option) Options {
 type evaluator struct {
 	workers int
 	ctx     context.Context
+	sample  int
+	// rng drives neighborhood sampling; a pointer, because evaluators are
+	// copied by value while the sampler's state must advance across rounds.
+	rng *stats.RNG
 }
 
 func newEvaluator(opts []Option) evaluator {
@@ -69,7 +102,28 @@ func newEvaluator(opts []Option) evaluator {
 	if w < 1 {
 		w = 1
 	}
-	return evaluator{workers: w, ctx: o.Ctx}
+	ev := evaluator{workers: w, ctx: o.Ctx, sample: o.Sample}
+	if o.Sample > 0 {
+		ev.rng = stats.NewRNG(o.SampleSeed)
+	}
+	return ev
+}
+
+// sampleIdx returns the move indices a sampled wide sweep should examine
+// out of [0, m): all of them (nil, meaning the identity) when sampling is
+// off or m already fits the cap, else a sorted uniform sample of size
+// e.sample. The draw happens sequentially on the caller's goroutine and
+// the result is sorted ascending, so sampled sweeps stay deterministic for
+// a fixed seed at any worker count and keep lowest-index tie resolution.
+func (e evaluator) sampleIdx(m int) []int {
+	if e.sample <= 0 || m <= e.sample {
+		return nil
+	}
+	idx := e.rng.SampleWithoutReplacement(m, e.sample)
+	sort.Ints(idx)
+	obs.Counter("selection.sweep.sampled_rounds").Inc()
+	obs.Counter("selection.sweep.sampled_skipped").Add(int64(m - len(idx)))
+	return idx
 }
 
 // canceled reports whether the run's context (if any) has been canceled.
@@ -77,6 +131,16 @@ func newEvaluator(opts []Option) evaluator {
 // sweep's outputs are partial and must be discarded.
 func (e evaluator) canceled() bool {
 	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+// sweepOn is sweep restricted to the given move indices (idx nil — the
+// sampleIdx identity — sweeps all of [0, m)).
+func (e evaluator) sweepOn(m int, idx []int, eval func(i int)) {
+	if idx == nil {
+		e.sweep(m, eval)
+		return
+	}
+	e.sweep(len(idx), func(k int) { eval(idx[k]) })
 }
 
 // cancelStride bounds how many sequential evaluations run between context

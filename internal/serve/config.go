@@ -32,7 +32,11 @@ type Config struct {
 	DefaultFuture int
 
 	// MaxCacheEntries bounds each registry cache (results, problems, set
-	// states); on overflow a cache is reset wholesale. Defaults to 4096.
+	// states); on overflow a cache is reset wholesale. 0 scales the bound
+	// to the snapshot's corpus when each generation is built: 4096 entries
+	// up to 2048 sources, shrinking inversely beyond that with a floor of
+	// 512 — cached keys and set states grow with the candidate count, so a
+	// fixed bound sized for small corpora would balloon at paper scale.
 	MaxCacheEntries int
 
 	// FitWorkers bounds the model-fitting pool used when the registry
@@ -89,9 +93,6 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultFuture <= 0 {
 		c.DefaultFuture = 10
-	}
-	if c.MaxCacheEntries <= 0 {
-		c.MaxCacheEntries = 4096
 	}
 	if c.ReloadTimeout <= 0 {
 		c.ReloadTimeout = 5 * time.Minute

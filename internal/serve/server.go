@@ -114,14 +114,36 @@ func validateDataset(d *dataset.Dataset) error {
 	return nil
 }
 
+// defaultCacheEntries is the corpus-scaled registry cache bound applied
+// when Config.MaxCacheEntries is unset: cache keys and memoized set states
+// grow linearly with the candidate count, so the entry budget shrinks
+// inversely past 2048 sources (floor 512) to keep per-generation cache
+// memory roughly constant from toy corpora up to the 15k-source paper
+// regime.
+func defaultCacheEntries(sources int) int {
+	const base, pivot, floor = 4096, 2048, 512
+	if sources <= pivot {
+		return base
+	}
+	n := base * pivot / sources
+	if n < floor {
+		n = floor
+	}
+	return n
+}
+
 // buildGeneration stages a complete generation over d: digest, registry,
 // and the pre-fit of the base models under ctx. On failure the candidate
 // registry is closed and nothing is published.
 func (s *Server) buildGeneration(ctx context.Context, id uint64, d *dataset.Dataset) (*generation, error) {
+	maxEntries := s.cfg.MaxCacheEntries
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries(len(d.Sources))
+	}
 	g := &generation{
 		id:     id,
 		d:      d,
-		reg:    NewRegistry(s.life, d, s.cfg.MaxCacheEntries, s.cfg.FitWorkers, s.mc),
+		reg:    NewRegistry(s.life, d, maxEntries, s.cfg.FitWorkers, s.mc),
 		digest: modelcache.Digest(d.World, d.Sources),
 	}
 	if _, err := g.reg.Trained(ctx, nil); err != nil {
