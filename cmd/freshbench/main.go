@@ -85,7 +85,7 @@ func main() {
 // parseMix turns "select=6,quality=3,reload=1" into weights. Unknown
 // endpoints are an error; at least one weight must be positive.
 func parseMix(s string) (map[string]int, error) {
-	known := map[string]bool{"select": true, "quality": true, "reload": true, "freshness": true}
+	known := map[string]bool{"select": true, "quality": true, "reload": true, "freshness": true, "observe": true}
 	weights := map[string]int{}
 	total := 0
 	for _, part := range strings.Split(s, ",") {
@@ -95,7 +95,7 @@ func parseMix(s string) (map[string]int, error) {
 		}
 		name, raw, ok := strings.Cut(part, "=")
 		if !ok || !known[name] {
-			return nil, fmt.Errorf("bad mix element %q (want endpoint=weight with endpoint in select/quality/reload/freshness)", part)
+			return nil, fmt.Errorf("bad mix element %q (want endpoint=weight with endpoint in select/quality/reload/observe/freshness)", part)
 		}
 		w, err := strconv.Atoi(raw)
 		if err != nil || w < 0 {
@@ -127,11 +127,19 @@ type workload struct {
 	choices    []string // endpoint per weight unit
 	tenants    int
 	numSources int
+
+	// Observe stream state: ticks are strictly monotone, so a submitted
+	// batch is always ahead of any epoch the server has committed, and the
+	// stream self-terminates (falling back to freshness probes) when the
+	// snapshot's refit window is exhausted.
+	numEntities int
+	obsTick     int64
+	obsMaxTick  int64
 }
 
-func newWorkload(seed int64, weights map[string]int, tenants, numSources int) *workload {
+func newWorkload(seed int64, weights map[string]int, tenants, numSources int, t0, horizon int64, numEntities int) *workload {
 	var choices []string
-	for _, ep := range []string{"select", "quality", "reload", "freshness"} {
+	for _, ep := range []string{"select", "quality", "reload", "observe", "freshness"} {
 		for i := 0; i < weights[ep]; i++ {
 			choices = append(choices, ep)
 		}
@@ -140,17 +148,44 @@ func newWorkload(seed int64, weights map[string]int, tenants, numSources int) *w
 		tenants = 1
 	}
 	return &workload{
-		rng:        rand.New(rand.NewSource(seed)),
-		choices:    choices,
-		tenants:    tenants,
-		numSources: numSources,
+		rng:         rand.New(rand.NewSource(seed)),
+		choices:     choices,
+		tenants:     tenants,
+		numSources:  numSources,
+		numEntities: numEntities,
+		obsTick:     t0 + 1,
+		obsMaxTick:  horizon - 2,
 	}
+}
+
+// observe emits one batch at the next monotone tick; past the refit window
+// it degrades into a freshness probe (the stream has outrun the horizon).
+func (w *workload) observe() request {
+	if w.obsTick > w.obsMaxTick || w.numEntities == 0 {
+		return request{endpoint: "freshness", method: http.MethodGet, path: "/v1/freshness"}
+	}
+	n := 1 + w.rng.Intn(3)
+	evs := make([]string, n)
+	for i := range evs {
+		if w.rng.Intn(2) == 0 {
+			evs[i] = fmt.Sprintf(`{"source":%d,"entity":%d,"kind":"appear","at":%d}`,
+				w.rng.Intn(w.numSources), w.rng.Intn(w.numEntities), w.obsTick)
+		} else {
+			evs[i] = fmt.Sprintf(`{"source":%d,"entity":%d,"kind":"update","at":%d,"version":%d}`,
+				w.rng.Intn(w.numSources), w.rng.Intn(w.numEntities), w.obsTick, 1+w.rng.Intn(3))
+		}
+	}
+	w.obsTick++
+	body := fmt.Sprintf(`{"observations":[%s]}`, strings.Join(evs, ","))
+	return request{endpoint: "observe", method: http.MethodPost, path: "/v1/observe", body: body}
 }
 
 func (w *workload) next() request {
 	ep := w.choices[w.rng.Intn(len(w.choices))]
 	tenant := w.rng.Intn(w.tenants)
 	switch ep {
+	case "observe":
+		return w.observe()
 	case "select":
 		algos := []string{"maxsub", "greedy", "lazygreedy"}
 		body := fmt.Sprintf(`{"algorithm":%q,"future":%d}`,
@@ -196,7 +231,10 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 		if target != "" {
 			return nil, fmt.Errorf("-spawn and -target are mutually exclusive")
 		}
-		target, shutdown, err = spawnServer(cfg, stderr)
+		if weights["observe"] > 0 && weights["reload"] > 0 {
+			return nil, fmt.Errorf("observe and reload cannot both be weighted in spawn mode (streaming ingestion and snapshot hot reload are mutually exclusive)")
+		}
+		target, shutdown, err = spawnServer(cfg, weights["observe"] > 0, stderr)
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +252,10 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 		return nil, fmt.Errorf("target %s not healthy: %w", target, err)
 	}
 	var sources struct {
-		Sources []struct{} `json:"sources"`
+		T0          int64      `json:"t0"`
+		Horizon     int64      `json:"horizon"`
+		NumEntities int        `json:"num_entities"`
+		Sources     []struct{} `json:"sources"`
 	}
 	raw, err := getBody(client, target+"/v1/sources")
 	if err != nil {
@@ -227,8 +268,8 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 	if numSources == 0 {
 		return nil, fmt.Errorf("target serves no sources")
 	}
-	fmt.Fprintf(stderr, "freshbench: target %s version=%v dataset=%v generation=%v sources=%d\n",
-		target, health["version"], health["dataset"], health["generation"], numSources)
+	fmt.Fprintf(stderr, "freshbench: target %s version=%v dataset=%v generation=%v ingest=%v sources=%d\n",
+		target, health["version"], health["dataset"], health["generation"], health["ingest"] != nil, numSources)
 	fmt.Fprintf(stderr, "freshbench: offering %.0f rps for %s (mix %s, %d tenants, seed %d)\n",
 		cfg.RPS, cfg.Duration, cfg.Mix, cfg.Tenants, cfg.Seed)
 
@@ -237,14 +278,22 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 		return nil, err
 	}
 
-	outcomes := offer(cfg, client, target, newWorkload(cfg.Seed, weights, cfg.Tenants, numSources))
+	outcomes := offer(cfg, client, target,
+		newWorkload(cfg.Seed, weights, cfg.Tenants, numSources, sources.T0, sources.Horizon, sources.NumEntities))
 
 	after, err := scrape(client, target)
 	if err != nil {
 		return nil, err
 	}
+	// A second healthz captures where the run left the server: the final
+	// generation, and the ingest epoch/watermark the observe stream drove
+	// it to.
+	healthEnd, err := getJSON(client, target+"/healthz")
+	if err != nil {
+		return nil, err
+	}
 
-	rep := reduce(cfg, target, health, outcomes, before, after)
+	rep := reduce(cfg, target, health, healthEnd, outcomes, before, after)
 	writeBenchLines(stdout, rep)
 	if cfg.Out != "" {
 		raw, err := json.MarshalIndent(rep, "", "  ")
@@ -343,7 +392,7 @@ func scrape(client *http.Client, target string) (obs.Snapshot, error) {
 // reduce folds the outcomes into the report: per-endpoint client-side
 // quantiles and rejection rates, plus allocation pressure derived from the
 // server's own runtime gauges across the run.
-func reduce(cfg benchConfig, target string, health map[string]any,
+func reduce(cfg benchConfig, target string, health, healthEnd map[string]any,
 	outcomes []outcome, before, after obs.Snapshot) *benchfmt.Report {
 	byEp := map[string][]outcome{}
 	for _, o := range outcomes {
@@ -352,11 +401,12 @@ func reduce(cfg benchConfig, target string, health map[string]any,
 
 	serving := &benchfmt.ServingSummary{
 		Target: map[string]string{
-			"url":        target,
-			"version":    fmt.Sprint(health["version"]),
-			"commit":     fmt.Sprint(health["commit"]),
-			"dataset":    fmt.Sprint(health["dataset"]),
-			"generation": fmt.Sprint(health["generation"]),
+			"url":            target,
+			"version":        fmt.Sprint(health["version"]),
+			"commit":         fmt.Sprint(health["commit"]),
+			"dataset":        fmt.Sprint(health["dataset"]),
+			"generation":     fmt.Sprint(health["generation"]),
+			"generation_end": fmt.Sprint(healthEnd["generation"]),
 		},
 		Workload: map[string]string{
 			"rps":         fmt.Sprintf("%g", cfg.RPS),
@@ -367,6 +417,12 @@ func reduce(cfg benchConfig, target string, health map[string]any,
 			"seed":        strconv.FormatInt(cfg.Seed, 10),
 		},
 		TotalRequests: int64(len(outcomes)),
+	}
+	// With ingestion enabled on the target, record how far the observe
+	// stream advanced it: the committed epoch and watermark at run end.
+	if ing, ok := healthEnd["ingest"].(map[string]any); ok {
+		serving.Target["ingest_epoch"] = fmt.Sprint(ing["epoch"])
+		serving.Target["ingest_watermark"] = fmt.Sprint(ing["watermark"])
 	}
 
 	rep := &benchfmt.Report{
@@ -456,8 +512,10 @@ func writeBenchLines(w io.Writer, rep *benchfmt.Report) {
 
 // spawnServer starts an in-process freshd over a compact generated
 // snapshot (written to a temp dir so /v1/reload works) on an ephemeral
-// port. The returned shutdown drains it.
-func spawnServer(cfg benchConfig, stderr io.Writer) (string, func(), error) {
+// port. With observe weighted in the mix the spawned server runs in
+// streaming-ingestion mode instead — 1s epochs, no snapshot reload (the
+// two are mutually exclusive). The returned shutdown drains it.
+func spawnServer(cfg benchConfig, observe bool, stderr io.Writer) (string, func(), error) {
 	gen := dataset.DefaultBLConfig()
 	gen.Locations, gen.Categories, gen.NumSources = 8, 5, 10
 	gen.Horizon, gen.T0 = 220, 120
@@ -481,11 +539,17 @@ func spawnServer(cfg benchConfig, stderr io.Writer) (string, func(), error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if err := snapio.Write(dir, d); err != nil {
-		os.RemoveAll(dir)
-		return "", nil, err
+	scfg := serve.Config{}
+	if observe {
+		scfg.IngestEpoch = time.Second
+	} else {
+		if err := snapio.Write(dir, d); err != nil {
+			os.RemoveAll(dir)
+			return "", nil, err
+		}
+		scfg.SnapshotDir = dir
 	}
-	srv, err := serve.New(d, serve.Config{SnapshotDir: dir})
+	srv, err := serve.New(d, scfg)
 	if err != nil {
 		os.RemoveAll(dir)
 		return "", nil, err

@@ -28,9 +28,9 @@ func TestParseMix(t *testing.T) {
 }
 
 func TestWorkloadDeterministic(t *testing.T) {
-	weights := map[string]int{"select": 6, "quality": 3, "reload": 1}
-	a := newWorkload(42, weights, 4, 10)
-	b := newWorkload(42, weights, 4, 10)
+	weights := map[string]int{"select": 6, "quality": 3, "reload": 1, "observe": 2}
+	a := newWorkload(42, weights, 4, 10, 120, 220, 500)
+	b := newWorkload(42, weights, 4, 10, 120, 220, 500)
 	seen := map[string]bool{}
 	for i := 0; i < 200; i++ {
 		ra, rb := a.next(), b.next()
@@ -39,10 +39,43 @@ func TestWorkloadDeterministic(t *testing.T) {
 		}
 		seen[ra.endpoint] = true
 	}
-	for _, ep := range []string{"select", "quality", "reload"} {
+	for _, ep := range []string{"select", "quality", "reload", "observe"} {
 		if !seen[ep] {
 			t.Errorf("200 draws never hit %s", ep)
 		}
+	}
+}
+
+// TestWorkloadObserveMonotone pins the observe stream invariants: ticks
+// are strictly increasing (always ahead of any committed watermark) and
+// the stream degrades to freshness probes past the refit window instead of
+// emitting doomed requests.
+func TestWorkloadObserveMonotone(t *testing.T) {
+	w := newWorkload(7, map[string]int{"observe": 1}, 2, 4, 120, 130, 50)
+	last := int64(120)
+	for i := 0; i < 8; i++ {
+		rq := w.next()
+		if rq.endpoint != "observe" {
+			t.Fatalf("draw %d: %s before window exhausted (tick %d)", i, rq.endpoint, w.obsTick)
+		}
+		var body struct {
+			Observations []struct {
+				At int64 `json:"at"`
+			} `json:"observations"`
+		}
+		if err := json.Unmarshal([]byte(rq.body), &body); err != nil {
+			t.Fatalf("draw %d body: %v\n%s", i, err, rq.body)
+		}
+		for _, o := range body.Observations {
+			if o.At <= last {
+				t.Fatalf("draw %d: tick %d not after %d", i, o.At, last)
+			}
+		}
+		last = body.Observations[0].At
+	}
+	// Window (120, 128] is exhausted after 8 draws; the stream falls back.
+	if rq := w.next(); rq.endpoint != "freshness" {
+		t.Fatalf("post-window draw: %+v", rq)
 	}
 }
 
@@ -128,5 +161,49 @@ func TestRunSpawned(t *testing.T) {
 	}
 	if regs, missing := benchfmt.Compare(onDisk, parsed, 0.01); len(regs) != 0 || len(missing) != 0 {
 		t.Errorf("self-compare: regs=%v missing=%v", regs, missing)
+	}
+}
+
+// TestRunSpawnedObserve is the ingest-mode end-to-end smoke: with observe
+// weighted, the spawned server runs 1s epochs, the stream drives the
+// watermark forward, and the report records the final ingest epoch and
+// generation.
+func TestRunSpawnedObserve(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns a server and fits models")
+	}
+	cfg := benchConfig{
+		Spawn:       true,
+		Kind:        "bl",
+		Scale:       0.4,
+		RPS:         60,
+		Concurrency: 4,
+		Duration:    1500 * time.Millisecond,
+		Mix:         "select=4,quality=3,observe=2,freshness=1",
+		Tenants:     3,
+		Seed:        7,
+		Timeout:     10 * time.Second,
+	}
+	var stdout, stderr bytes.Buffer
+	rep, err := run(cfg, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if _, ok := rep.Serving.Target["ingest_epoch"]; !ok {
+		t.Errorf("report missing ingest_epoch: %v", rep.Serving.Target)
+	}
+	if _, ok := rep.Serving.Target["generation_end"]; !ok {
+		t.Errorf("report missing generation_end: %v", rep.Serving.Target)
+	}
+	for _, ep := range rep.Serving.Endpoints {
+		if ep.Endpoint == "observe" && ep.ErrorRate > 0 {
+			t.Errorf("observe error rate %g", ep.ErrorRate)
+		}
+	}
+
+	// observe + reload cannot share a spawned server.
+	cfg.Mix = "observe=1,reload=1"
+	if _, err := run(cfg, &stdout, &stderr); err == nil {
+		t.Error("want error for observe+reload spawn mix")
 	}
 }

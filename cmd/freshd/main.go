@@ -10,7 +10,8 @@
 //	freshd -load snapshots/bl-small -obs.dump /var/run/freshd.obs.json -obs.interval 30s
 //
 // Endpoints: POST /v1/select, POST /v1/quality, GET /v1/sources,
-// POST /v1/reload, GET /v1/freshness, GET /healthz, GET /metrics
+// POST /v1/reload, POST /v1/observe (with -ingest.epoch),
+// GET /v1/freshness, GET /healthz, GET /metrics
 // (Prometheus text exposition; ?format=json for the raw snapshot). A
 // served selection is byte-identical to a freshselect run over the same
 // snapshot and options.
@@ -52,6 +53,9 @@ func main() {
 		mcDir       = flag.String("modelcache.dir", "", "persistent model cache directory; a verified entry skips the startup fit (empty = disabled)")
 		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes; oversized POSTs are rejected with 413")
 		reloadTO    = flag.Duration("reload.timeout", 5*time.Minute, "bound on staging+fitting a hot-reloaded snapshot; on expiry the candidate is discarded")
+		ingestEpoch = flag.Duration("ingest.epoch", 0, "streaming-ingestion epoch interval; >0 enables POST /v1/observe and periodic incremental refit (mutually exclusive with -load hot reload)")
+		ingestDir   = flag.String("ingest.dir", "", "durable epoch-log directory; committed epochs are recovered on restart (empty = in-memory only)")
+		ingestLag   = flag.Int("ingest.maxlag", 0, "max buffered observations before /v1/observe sheds load with 429 (0 = 65536)")
 		freshWarn   = flag.Float64("freshness.warn", 1.5, "GET /v1/freshness warning threshold, as a multiple of each source's fitted update interval")
 		freshStale  = flag.Float64("freshness.stale", 3.0, "GET /v1/freshness stale threshold, as a multiple of each source's fitted update interval")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
@@ -91,6 +95,9 @@ func main() {
 		SnapshotDir:          *load,
 		ReloadTimeout:        *reloadTO,
 		MaxBodyBytes:         *maxBody,
+		IngestEpoch:          *ingestEpoch,
+		IngestDir:            *ingestDir,
+		IngestMaxLag:         *ingestLag,
 		FreshnessWarnFactor:  *freshWarn,
 		FreshnessStaleFactor: *freshStale,
 	})

@@ -271,6 +271,14 @@ func buildCandidate(w *world.World, s *source.Source, i int, t0 timeline.Tick, p
 	if err != nil {
 		return nil, err
 	}
+	return candidateFromProfile(prof, s, i, pts, maxDelay), nil
+}
+
+// candidateFromProfile wraps a fitted profile into a Candidate: coverage
+// flags from the source spec plus the tabulated effectiveness tables. It is
+// shared by the cold fit pipeline and the incremental Accumulator, so both
+// derive candidates through identical code.
+func candidateFromProfile(prof *profile.Profile, s *source.Source, i int, pts []world.DomainPoint, maxDelay int) *Candidate {
 	covered := make(map[world.DomainPoint]bool, len(s.Spec().Points))
 	for _, p := range s.Spec().Points {
 		covered[p] = true
@@ -282,7 +290,7 @@ func buildCandidate(w *world.World, s *source.Source, i int, t0 timeline.Tick, p
 	c.gi = tabulate(prof.Gi, maxDelay)
 	c.gd = tabulate(prof.Gd, maxDelay)
 	c.gu = tabulate(prof.Gu, maxDelay)
-	return c, nil
+	return c
 }
 
 // tabulate samples a Kaplan–Meier CDF at integer delays 0 … maxDelay with

@@ -14,6 +14,9 @@
 //	modelcache.load   cache-file read in modelcache.Load
 //	modelcache.save   cache-file write in modelcache.Save
 //	serve.fit         the registry's detached model fit, before it runs
+//	ingest.read       every epoch-log frame payload read during recovery
+//	ingest.append     the durable epoch append at the head of a commit
+//	ingest.refit      the incremental refit of a committed epoch, before it runs
 //
 // A Fault fires at most Times times (0 = unlimited); Fired reports how
 // often a site actually fired, so tests can assert the fault was hit.

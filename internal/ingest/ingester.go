@@ -1,0 +1,353 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/estimate"
+	"freshsource/internal/faults"
+	"freshsource/internal/obs"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+)
+
+// ErrBackpressure reports that the pending-observation buffer hit its
+// configured bound; the caller should shed load (HTTP 429) until the next
+// epoch commit drains it.
+var ErrBackpressure = errors.New("ingest: pending observations exceed max lag")
+
+// StaleError reports an observation at or behind the committed watermark.
+// An epoch commit seals every tick up to its watermark — late arrivals must
+// be rejected on both the incremental and the cold path, or the two would
+// diverge.
+type StaleError struct {
+	At        timeline.Tick
+	Watermark timeline.Tick
+}
+
+func (e *StaleError) Error() string {
+	return fmt.Sprintf("ingest: observation at tick %d not after watermark %d", e.At, e.Watermark)
+}
+
+// Config tunes an Ingester.
+type Config struct {
+	// Dir is the durable epoch-log directory; "" keeps epochs in memory
+	// only (still exact, just not crash-recoverable).
+	Dir string
+	// MaxPending bounds buffered (uncommitted) observations; Submit returns
+	// ErrBackpressure beyond it. 0 means DefaultMaxPending.
+	MaxPending int
+	// FitWorkers bounds the refit worker pool (0 = GOMAXPROCS).
+	FitWorkers int
+}
+
+// DefaultMaxPending is the pending-buffer bound when Config.MaxPending is 0.
+const DefaultMaxPending = 65536
+
+// Epoch is the outcome of a successful Commit: the refit estimator at the
+// new cut plus the extended sources, ready to be wrapped into a serving
+// generation.
+type Epoch struct {
+	Seq          uint64
+	Watermark    timeline.Tick
+	Observations int
+	Est          *estimate.Estimator
+	Sources      []*source.Source
+}
+
+// Ingester buffers streamed observations and turns them into committed
+// epochs: sort → durable append → fold into the incremental accumulator →
+// exact refit. All methods are safe for concurrent use; commits serialize.
+//
+// Failure semantics mirror the serving tier's last-good rule. A failure
+// before the durable append leaves the pending buffer intact (the commit
+// retries wholesale). A failure after the append but during refit leaves
+// the epoch committed — data is durable and folded — with the refit marked
+// dirty, so the next Commit rebuilds and publishes it; the serving
+// generation is untouched either way.
+type Ingester struct {
+	mu   sync.Mutex
+	d    *dataset.Dataset
+	acc  *estimate.Accumulator
+	log  *Log
+	cfg  Config
+	maxT timeline.Tick
+
+	pending  []Observation
+	streamed [][]timeline.Event // accepted events per source, all epochs
+
+	watermark timeline.Tick
+	seq       uint64
+	// dirty marks committed-but-unpublished data: a refit failed after the
+	// epoch was durably applied, or recovery replayed epochs at startup.
+	dirty bool
+	// sincePublish counts observations applied since the last successful
+	// refit, reported in the next Epoch.
+	sincePublish int
+}
+
+// New builds an ingester over the serving snapshot, scanning each source's
+// archived history once. With cfg.Dir set it recovers the durable epoch
+// log, re-folding every committed epoch — after a crash the ingester
+// resumes at the exact watermark it had durably reached, and the first
+// Commit republishes the refit state.
+func New(ctx context.Context, d *dataset.Dataset, cfg Config) (*Ingester, error) {
+	if cfg.MaxPending <= 0 {
+		cfg.MaxPending = DefaultMaxPending
+	}
+	maxT := d.Horizon() - 1
+	acc, err := estimate.NewAccumulator(ctx, d.World, d.Sources, d.T0, maxT, nil, estimate.FitOptions{Workers: cfg.FitWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %w", err)
+	}
+	in := &Ingester{
+		d:         d,
+		acc:       acc,
+		cfg:       cfg,
+		maxT:      maxT,
+		watermark: d.T0,
+		streamed:  make([][]timeline.Event, len(d.Sources)),
+	}
+	if cfg.Dir != "" {
+		log, recs, err := OpenLog(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		in.log = log
+		for _, rec := range recs {
+			if err := in.applyRecord(ctx, rec); err != nil {
+				log.Close()
+				return nil, fmt.Errorf("ingest: recovering epoch %d: %w", rec.Seq, err)
+			}
+		}
+		if len(recs) > 0 {
+			in.dirty = true
+			obs.Counter("ingest.log.recovered_epochs").Add(int64(len(recs)))
+		}
+	}
+	return in, nil
+}
+
+// applyRecord folds one recovered epoch into the accumulator. Records were
+// validated and sorted at commit time; validation here catches a log that
+// passed CRC but violates the epoch invariants (which recovery must treat
+// as corruption, not skip silently).
+func (in *Ingester) applyRecord(ctx context.Context, rec EpochRecord) error {
+	if rec.Watermark <= in.watermark || rec.Watermark >= in.maxT {
+		return fmt.Errorf("watermark %d outside (%d, %d)", rec.Watermark, in.watermark, in.maxT)
+	}
+	for _, o := range rec.Events {
+		if err := in.validate(o); err != nil {
+			return err
+		}
+		if o.Event.At > rec.Watermark {
+			return fmt.Errorf("event tick %d beyond watermark %d", o.Event.At, rec.Watermark)
+		}
+	}
+	perSource := in.split(rec.Events)
+	if err := in.acc.Advance(ctx, rec.Watermark, perSource); err != nil {
+		return err
+	}
+	in.commitApplied(rec.Seq, rec.Watermark, perSource, len(rec.Events))
+	return nil
+}
+
+// commitApplied records the bookkeeping of an applied epoch: sequence,
+// watermark, per-source streamed history and the published-observation
+// counter.
+func (in *Ingester) commitApplied(seq uint64, wm timeline.Tick, perSource [][]timeline.Event, n int) {
+	in.seq = seq
+	in.watermark = wm
+	for i, evs := range perSource {
+		in.streamed[i] = append(in.streamed[i], evs...)
+	}
+	in.sincePublish += n
+}
+
+// validate checks one observation against the world and the committed
+// watermark. The bounds keep the incremental and cold paths in the same
+// event universe: ticks in (watermark, maxT) so the cut always stays below
+// maxT, entities that exist in the world, known kinds.
+func (in *Ingester) validate(o Observation) error {
+	if o.Source < 0 || o.Source >= len(in.d.Sources) {
+		return fmt.Errorf("ingest: source %d outside [0, %d)", o.Source, len(in.d.Sources))
+	}
+	if n := in.d.World.NumEntities(); int(o.Event.Entity) < 0 || int(o.Event.Entity) >= n {
+		return fmt.Errorf("ingest: entity %d outside [0, %d)", o.Event.Entity, n)
+	}
+	if o.Event.Kind > timeline.Disappear {
+		return fmt.Errorf("ingest: unknown event kind %d", o.Event.Kind)
+	}
+	if o.Event.Version < 0 {
+		return fmt.Errorf("ingest: negative version %d", o.Event.Version)
+	}
+	if o.Event.At <= in.watermark {
+		return &StaleError{At: o.Event.At, Watermark: in.watermark}
+	}
+	if o.Event.At >= in.maxT {
+		return fmt.Errorf("ingest: tick %d beyond refit bound %d", o.Event.At, in.maxT-1)
+	}
+	return nil
+}
+
+// Submit buffers a batch of observations for the next epoch. The batch is
+// atomic: any invalid observation rejects the whole batch and buffers
+// nothing.
+func (in *Ingester) Submit(batch []Observation) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.pending)+len(batch) > in.cfg.MaxPending {
+		obs.Counter("ingest.backpressure").Inc()
+		return ErrBackpressure
+	}
+	for _, o := range batch {
+		if err := in.validate(o); err != nil {
+			obs.Counter("ingest.rejected").Add(int64(len(batch)))
+			return err
+		}
+	}
+	in.pending = append(in.pending, batch...)
+	obs.Counter("ingest.accepted").Add(int64(len(batch)))
+	obs.Gauge("ingest.pending").Set(float64(len(in.pending)))
+	return nil
+}
+
+// split partitions a sorted observation batch into per-source event slices,
+// preserving order.
+func (in *Ingester) split(batch []Observation) [][]timeline.Event {
+	perSource := make([][]timeline.Event, len(in.d.Sources))
+	for _, o := range batch {
+		perSource[o.Source] = append(perSource[o.Source], o.Event)
+	}
+	return perSource
+}
+
+// Commit seals the pending buffer into an epoch and refits. With nothing
+// pending and nothing dirty it is a no-op returning (nil, nil). The stages:
+//
+//  1. sort the batch into replay order and derive the new watermark,
+//  2. append the epoch frame durably ("ingest.append" fault seam) — a
+//     failure here retains the pending buffer for wholesale retry,
+//  3. fold the delta into the accumulator — the epoch is now committed,
+//  4. refit ("ingest.refit" fault seam) — a failure here leaves the epoch
+//     committed and dirty; the next Commit rebuilds without re-applying.
+//
+// The caller publishes the returned Epoch (estimator + extended sources) as
+// a new serving generation; on publish failure it may simply drop it — the
+// ingester re-derives an identical epoch on the next Commit.
+func (in *Ingester) Commit(ctx context.Context) (*Epoch, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if len(in.pending) == 0 && !in.dirty {
+		return nil, nil
+	}
+	if len(in.pending) > 0 {
+		batch := in.pending
+		sort.SliceStable(batch, func(a, b int) bool { return timeline.Less(batch[a].Event, batch[b].Event) })
+		newWM := batch[len(batch)-1].Event.At
+		for _, o := range batch {
+			if o.Event.At > newWM {
+				newWM = o.Event.At
+			}
+		}
+		rec := EpochRecord{Seq: in.seq + 1, Watermark: newWM, Events: batch}
+		if err := faults.Inject("ingest.append"); err != nil {
+			return nil, fmt.Errorf("ingest: epoch %d append: %w", rec.Seq, err)
+		}
+		if in.log != nil {
+			if err := in.log.Append(rec); err != nil {
+				return nil, err
+			}
+		}
+		perSource := in.split(batch)
+		if err := in.acc.Advance(ctx, newWM, perSource); err != nil {
+			return nil, err
+		}
+		in.commitApplied(rec.Seq, newWM, perSource, len(batch))
+		in.pending = nil
+		in.dirty = true
+		obs.Counter("ingest.epochs.committed").Inc()
+		obs.Gauge("ingest.pending").Set(0)
+	}
+
+	if err := faults.Inject("ingest.refit"); err != nil {
+		return nil, fmt.Errorf("ingest: epoch %d refit: %w", in.seq, err)
+	}
+	est, err := in.acc.Build(ctx)
+	if err != nil {
+		return nil, err
+	}
+	sources, err := in.extendedSources()
+	if err != nil {
+		return nil, err
+	}
+	n := in.sincePublish
+	in.sincePublish = 0
+	in.dirty = false
+	return &Epoch{Seq: in.seq, Watermark: in.watermark, Observations: n, Est: est, Sources: sources}, nil
+}
+
+// extendedSources rebuilds each source over archived + streamed events, so
+// the published generation's dataset (and its digest, freshness lookups and
+// any cold divisor-variant fits) sees exactly the event universe the
+// incremental refit saw.
+func (in *Ingester) extendedSources() ([]*source.Source, error) {
+	out := make([]*source.Source, len(in.d.Sources))
+	for i, s := range in.d.Sources {
+		if len(in.streamed[i]) == 0 {
+			out[i] = s
+			continue
+		}
+		evs := make([]timeline.Event, 0, s.Log().Len()+len(in.streamed[i]))
+		evs = append(evs, s.Log().Events()...)
+		evs = append(evs, in.streamed[i]...)
+		cs, err := source.FromLog(s.ID(), s.Spec(), s.Horizon(), evs)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: extending source %d: %w", i, err)
+		}
+		out[i] = cs
+	}
+	return out, nil
+}
+
+// Pending returns the buffered (uncommitted) observation count.
+func (in *Ingester) Pending() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return len(in.pending)
+}
+
+// Watermark returns the committed watermark (the training cut of the last
+// committed epoch; the snapshot T0 before any commit).
+func (in *Ingester) Watermark() timeline.Tick {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.watermark
+}
+
+// Seq returns the last committed epoch sequence number (0 before any).
+func (in *Ingester) Seq() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.seq
+}
+
+// Dirty reports committed-but-unpublished data: recovery replayed epochs,
+// or a refit failed after its epoch was applied.
+func (in *Ingester) Dirty() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.dirty
+}
+
+// Close releases the durable log, if any.
+func (in *Ingester) Close() error {
+	if in.log != nil {
+		return in.log.Close()
+	}
+	return nil
+}

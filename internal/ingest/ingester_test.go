@@ -1,0 +1,373 @@
+package ingest
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/estimate"
+	"freshsource/internal/faults"
+	"freshsource/internal/source"
+	"freshsource/internal/timeline"
+)
+
+var fixtureDS *dataset.Dataset
+
+func testDataset(t testing.TB) *dataset.Dataset {
+	t.Helper()
+	if fixtureDS != nil {
+		return fixtureDS
+	}
+	cfg := dataset.DefaultBLConfig()
+	cfg.Locations = 6
+	cfg.Categories = 4
+	cfg.NumSources = 6
+	cfg.Horizon = 200
+	cfg.T0 = 120
+	cfg.Scale = 0.3
+	d, err := dataset.GenerateBL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixtureDS = d
+	return d
+}
+
+// synthBatch generates a deterministic batch of valid observations with
+// ticks in (lo, hi].
+func synthBatch(rng *rand.Rand, d *dataset.Dataset, lo, hi timeline.Tick, n int) []Observation {
+	batch := make([]Observation, 0, n)
+	span := int(hi - lo)
+	for k := 0; k < n; k++ {
+		at := lo + 1 + timeline.Tick(rng.Intn(span))
+		o := Observation{
+			Source: rng.Intn(len(d.Sources)),
+			Event:  timeline.Event{Entity: timeline.EntityID(rng.Intn(d.World.NumEntities())), At: at},
+		}
+		switch rng.Intn(3) {
+		case 0:
+			o.Event.Kind = timeline.Appear
+		case 1:
+			o.Event.Kind, o.Event.Version = timeline.Update, 1+rng.Intn(3)
+		default:
+			o.Event.Kind, o.Event.Version = timeline.Disappear, rng.Intn(3)
+		}
+		batch = append(batch, o)
+	}
+	return batch
+}
+
+func exportBytes(t *testing.T, e *estimate.Estimator) []byte {
+	t.Helper()
+	f, err := e.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// coldEpoch refits from scratch what an epoch claims: a full fit at the
+// epoch watermark over the epoch's extended sources.
+func coldEpoch(t *testing.T, d *dataset.Dataset, ep *Epoch) *estimate.Estimator {
+	t.Helper()
+	e, err := estimate.NewFit(context.Background(), d.World, ep.Sources, ep.Watermark, d.Horizon()-1, nil, estimate.FitOptions{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestIngesterCommitMatchesCold pins the end-to-end exactness contract at
+// the ingester level: each committed epoch's estimator is byte-identical
+// to a cold fit over the epoch's own extended sources at its watermark.
+func TestIngesterCommitMatchesCold(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	rng := rand.New(rand.NewSource(3))
+	cut := d.T0
+	for epoch := 0; epoch < 3; epoch++ {
+		hi := cut + 10
+		if err := in.Submit(synthBatch(rng, d, cut, hi, 25)); err != nil {
+			t.Fatalf("epoch %d submit: %v", epoch, err)
+		}
+		ep, err := in.Commit(context.Background())
+		if err != nil {
+			t.Fatalf("epoch %d commit: %v", epoch, err)
+		}
+		if ep == nil || ep.Seq != uint64(epoch+1) {
+			t.Fatalf("epoch %d: got %+v", epoch, ep)
+		}
+		if ep.Watermark <= cut || ep.Watermark > hi {
+			t.Fatalf("epoch %d watermark %d outside (%d, %d]", epoch, ep.Watermark, cut, hi)
+		}
+		if ep.Observations != 25 {
+			t.Fatalf("epoch %d observations = %d", epoch, ep.Observations)
+		}
+		cold := coldEpoch(t, d, ep)
+		if !bytes.Equal(exportBytes(t, ep.Est), exportBytes(t, cold)) {
+			t.Fatalf("epoch %d: incremental estimator differs from cold fit", epoch)
+		}
+		cut = ep.Watermark
+		if in.Watermark() != cut || in.Dirty() {
+			t.Fatalf("epoch %d: watermark=%d dirty=%v", epoch, in.Watermark(), in.Dirty())
+		}
+	}
+
+	// Nothing pending, nothing dirty: Commit is a no-op.
+	ep, err := in.Commit(context.Background())
+	if err != nil || ep != nil {
+		t.Fatalf("idle commit: %+v, %v", ep, err)
+	}
+}
+
+// TestIngesterRecovery pins crash recovery: reopening over the durable log
+// replays committed epochs exactly — same watermark, same sequence, and a
+// first Commit that republishes a byte-identical estimator.
+func TestIngesterRecovery(t *testing.T) {
+	d := testDataset(t)
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(5))
+
+	in, err := New(context.Background(), d, Config{Dir: dir, FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []byte
+	var wm timeline.Tick
+	cut := d.T0
+	for epoch := 0; epoch < 2; epoch++ {
+		if err := in.Submit(synthBatch(rng, d, cut, cut+8, 20)); err != nil {
+			t.Fatal(err)
+		}
+		ep, err := in.Commit(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = exportBytes(t, ep.Est)
+		wm, cut = ep.Watermark, ep.Watermark
+	}
+	// Simulate a crash: no clean shutdown beyond closing the file handle.
+	in.Close()
+
+	re, err := New(context.Background(), d, Config{Dir: dir, FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	if re.Watermark() != wm || re.Seq() != 2 {
+		t.Fatalf("recovered watermark=%d seq=%d, want %d/2", re.Watermark(), re.Seq(), wm)
+	}
+	if !re.Dirty() {
+		t.Fatal("recovered ingester should be dirty (needs republish)")
+	}
+	ep, err := re.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep == nil || ep.Seq != 2 || ep.Watermark != wm {
+		t.Fatalf("recovery commit: %+v", ep)
+	}
+	if !bytes.Equal(exportBytes(t, ep.Est), want) {
+		t.Fatal("recovered estimator differs from pre-crash estimator")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	maxT := d.Horizon() - 1
+
+	valid := Observation{Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Appear, At: d.T0 + 5}}
+	for name, o := range map[string]Observation{
+		"bad-source-neg":  {Source: -1, Event: valid.Event},
+		"bad-source-high": {Source: len(d.Sources), Event: valid.Event},
+		"bad-entity":      {Source: 0, Event: timeline.Event{Entity: timeline.EntityID(d.World.NumEntities()), Kind: timeline.Appear, At: d.T0 + 5}},
+		"bad-kind":        {Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Disappear + 1, At: d.T0 + 5}},
+		"bad-version":     {Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Update, At: d.T0 + 5, Version: -1}},
+		"beyond-maxT":     {Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Appear, At: maxT}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			// The batch is atomic: one bad observation rejects it all.
+			if err := in.Submit([]Observation{valid, o}); err == nil {
+				t.Error("want validation error")
+			}
+			if in.Pending() != 0 {
+				t.Errorf("rejected batch buffered %d observations", in.Pending())
+			}
+		})
+	}
+
+	// At or behind the watermark is a typed StaleError.
+	stale := Observation{Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Appear, At: d.T0}}
+	err = in.Submit([]Observation{stale})
+	var se *StaleError
+	if !errors.As(err, &se) {
+		t.Fatalf("want StaleError, got %v", err)
+	}
+	if se.At != d.T0 || se.Watermark != d.T0 {
+		t.Errorf("StaleError fields: %+v", se)
+	}
+
+	if err := in.Submit([]Observation{valid}); err != nil {
+		t.Fatalf("valid submit: %v", err)
+	}
+	if in.Pending() != 1 {
+		t.Fatalf("pending = %d", in.Pending())
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{MaxPending: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	mk := func(n int, at timeline.Tick) []Observation {
+		out := make([]Observation, n)
+		for i := range out {
+			out[i] = Observation{Source: 0, Event: timeline.Event{Entity: timeline.EntityID(i), Kind: timeline.Appear, At: at}}
+		}
+		return out
+	}
+	if err := in.Submit(mk(3, d.T0+1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(mk(1, d.T0+1)); !errors.Is(err, ErrBackpressure) {
+		t.Fatalf("want ErrBackpressure, got %v", err)
+	}
+	// A commit drains the buffer and lifts the backpressure.
+	if _, err := in.Commit(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit(mk(1, d.T0+2)); err != nil {
+		t.Fatalf("post-commit submit: %v", err)
+	}
+}
+
+// TestCommitAppendFault pins the pre-durability failure mode: a failed
+// append leaves the pending buffer intact and the commit retries
+// wholesale once the fault clears.
+func TestCommitAppendFault(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{Dir: t.TempDir(), FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	if err := in.Submit(synthBatch(rng, d, d.T0, d.T0+6, 10)); err != nil {
+		t.Fatal(err)
+	}
+	faults.Set("ingest.append", faults.Fault{Err: errors.New("disk full"), Times: 1})
+	defer faults.Reset()
+	if _, err := in.Commit(context.Background()); err == nil {
+		t.Fatal("want append fault")
+	}
+	if in.Pending() != 10 || in.Seq() != 0 || in.Watermark() != d.T0 {
+		t.Fatalf("failed append mutated state: pending=%d seq=%d wm=%d", in.Pending(), in.Seq(), in.Watermark())
+	}
+	ep, err := in.Commit(context.Background())
+	if err != nil || ep == nil || ep.Seq != 1 {
+		t.Fatalf("retry commit: %+v, %v", ep, err)
+	}
+}
+
+// TestCommitRefitFault pins the post-durability failure mode: the epoch is
+// committed (durable, folded, watermark advanced) but unpublished; the
+// next Commit rebuilds without re-applying and the result is identical to
+// an unfaulted run.
+func TestCommitRefitFault(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+
+	rng := rand.New(rand.NewSource(9))
+	if err := in.Submit(synthBatch(rng, d, d.T0, d.T0+6, 10)); err != nil {
+		t.Fatal(err)
+	}
+	faults.Set("ingest.refit", faults.Fault{Err: errors.New("refit oom"), Times: 1})
+	defer faults.Reset()
+	if _, err := in.Commit(context.Background()); err == nil {
+		t.Fatal("want refit fault")
+	}
+	if in.Pending() != 0 || in.Seq() != 1 || !in.Dirty() {
+		t.Fatalf("faulted refit: pending=%d seq=%d dirty=%v", in.Pending(), in.Seq(), in.Dirty())
+	}
+	ep, err := in.Commit(context.Background())
+	if err != nil || ep == nil {
+		t.Fatalf("dirty recommit: %+v, %v", ep, err)
+	}
+	if ep.Seq != 1 || in.Dirty() {
+		t.Fatalf("recommit: seq=%d dirty=%v", ep.Seq, in.Dirty())
+	}
+	if !bytes.Equal(exportBytes(t, ep.Est), exportBytes(t, coldEpoch(t, d, ep))) {
+		t.Fatal("recommitted estimator differs from cold fit")
+	}
+}
+
+// TestRecoveryRejectsCorruptEpoch: a log record that passes CRC but
+// violates epoch invariants (watermark regression) fails recovery loudly.
+func TestRecoveryRejectsCorruptEpoch(t *testing.T) {
+	d := testDataset(t)
+	dir := t.TempDir()
+	openAppend(t, dir,
+		rec(1, d.T0+5, ob(0, 1, timeline.Appear, d.T0+5, 0)),
+		rec(2, d.T0+3, ob(0, 2, timeline.Appear, d.T0+3, 0)))
+
+	if _, err := New(context.Background(), d, Config{Dir: dir}); err == nil {
+		t.Fatal("want recovery error for regressing watermark")
+	}
+}
+
+// sanity: the extended sources carry the streamed events.
+func TestEpochSourcesExtended(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	o := Observation{Source: 2, Event: timeline.Event{Entity: 7, Kind: timeline.Appear, At: d.T0 + 4}}
+	if err := in.Submit([]Observation{o}); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := in.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Sources[2] == d.Sources[2] {
+		t.Fatal("streamed-into source not rebuilt")
+	}
+	if got, want := ep.Sources[2].Log().Len(), d.Sources[2].Log().Len()+1; got != want {
+		t.Fatalf("extended log length %d, want %d", got, want)
+	}
+	for i := range d.Sources {
+		if i != 2 && ep.Sources[i] != d.Sources[i] {
+			t.Errorf("untouched source %d was rebuilt", i)
+		}
+	}
+	var _ *source.Source = ep.Sources[2]
+}

@@ -1,0 +1,208 @@
+package ingest
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"freshsource/internal/faults"
+	"freshsource/internal/timeline"
+)
+
+func rec(seq uint64, wm timeline.Tick, evs ...Observation) EpochRecord {
+	return EpochRecord{Seq: seq, Watermark: wm, Events: evs}
+}
+
+func ob(src int, id timeline.EntityID, kind timeline.EventKind, at timeline.Tick, v int) Observation {
+	return Observation{Source: src, Event: timeline.Event{Entity: id, Kind: kind, At: at, Version: v}}
+}
+
+func openAppend(t *testing.T, dir string, recs ...EpochRecord) {
+	t.Helper()
+	l, got, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("fresh log recovered %d records", len(got))
+	}
+	for _, r := range recs {
+		if err := l.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	want := []EpochRecord{
+		rec(1, 125, ob(0, 3, timeline.Appear, 123, 0), ob(2, 9, timeline.Update, 125, 2)),
+		rec(2, 130),
+		rec(3, 140, ob(1, 0, timeline.Disappear, 140, 1)),
+	}
+	openAppend(t, dir, want...)
+
+	l, got, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Truncated || l.Replayed != 0 {
+		t.Fatalf("clean log: truncated=%v replayed=%d", l.Truncated, l.Replayed)
+	}
+	// Empty Events decodes as a nil slice; normalize before comparing.
+	for i := range want {
+		if len(want[i].Events) == 0 {
+			want[i].Events = nil
+		}
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestLogTornTail pins crash recovery: a partial frame at the tail (torn
+// write) is truncated, every complete frame before it survives, and the
+// log is appendable again afterwards.
+func TestLogTornTail(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, rec(1, 125, ob(0, 3, timeline.Appear, 123, 0)), rec(2, 130))
+
+	path := filepath.Join(dir, logName)
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, tail := range map[string][]byte{
+		"short-header":  {0x05},
+		"short-payload": {0xFF, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0x01, 0x02},
+		"huge-length":   {0xFF, 0xFF, 0xFF, 0xFF, 0xAA, 0xBB, 0xCC, 0xDD},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, append(append([]byte{}, clean...), tail...), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			l, got, err := OpenLog(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !l.Truncated {
+				t.Error("want Truncated")
+			}
+			if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+				t.Fatalf("want 2 intact records, got %+v", got)
+			}
+			if err := l.Append(rec(3, 140)); err != nil {
+				t.Fatal(err)
+			}
+			l.Close()
+
+			l2, got2, err := OpenLog(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if l2.Truncated || len(got2) != 3 {
+				t.Fatalf("post-truncate reopen: truncated=%v records=%d", l2.Truncated, len(got2))
+			}
+			// Restore the clean image for the next subtest.
+			if err := os.WriteFile(path, clean, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestLogCorruptPayload flips a byte inside the last frame's payload: the
+// CRC must catch it and recovery truncates from that frame on.
+func TestLogCorruptPayload(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, rec(1, 125, ob(0, 3, timeline.Appear, 123, 0)), rec(2, 130, ob(1, 4, timeline.Update, 128, 1)))
+
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	l, got, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !l.Truncated {
+		t.Error("want Truncated for bad CRC")
+	}
+	if len(got) != 1 || got[0].Seq != 1 {
+		t.Fatalf("want frame 1 only, got %+v", got)
+	}
+}
+
+// TestLogReadFault injects a read error through the ingest.read seam: the
+// frame is treated as torn, like any other unreadable tail.
+func TestLogReadFault(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, rec(1, 125), rec(2, 130))
+
+	faults.Set("ingest.read", faults.Fault{Err: errors.New("injected"), Times: 1})
+	defer faults.Reset()
+	l, got, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if !l.Truncated || len(got) != 0 {
+		t.Fatalf("injected read fault at frame 1: truncated=%v records=%d", l.Truncated, len(got))
+	}
+	if faults.Fired("ingest.read") != 1 {
+		t.Errorf("seam fired %d times", faults.Fired("ingest.read"))
+	}
+}
+
+// TestLogReplayedEpochs pins duplicate handling: frames whose sequence
+// number does not exceed the last committed one are skipped (counted, not
+// re-delivered), while a forward gap is data loss and fails.
+func TestLogReplayedEpochs(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, rec(1, 125), rec(1, 125), rec(2, 130))
+
+	l, got, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if l.Replayed != 1 {
+		t.Errorf("replayed = %d, want 1", l.Replayed)
+	}
+	if len(got) != 2 || got[0].Seq != 1 || got[1].Seq != 2 {
+		t.Fatalf("want seqs [1 2], got %+v", got)
+	}
+}
+
+func TestLogSeqGap(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir, rec(1, 125), rec(3, 140))
+
+	if _, _, err := OpenLog(dir); err == nil {
+		t.Fatal("want error for epoch sequence gap")
+	}
+}
+
+func TestLogBadMagic(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("NOTALOG0"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := OpenLog(dir); err == nil {
+		t.Fatal("want error for bad magic")
+	}
+}

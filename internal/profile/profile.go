@@ -81,18 +81,25 @@ func Build(w *world.World, s *source.Source, t0 timeline.Tick, pts []world.Domai
 	}
 	p := &Profile{SourceID: s.ID(), Name: s.Name(), T0: t0, AcqDivisor: 1}
 
-	inPts := func(world.DomainPoint) bool { return true }
-	if pts != nil {
-		set := make(map[world.DomainPoint]bool, len(pts))
-		for _, pt := range pts {
-			set[pt] = true
-		}
-		inPts = func(pt world.DomainPoint) bool { return set[pt] }
-	}
+	inPts := inPtsFunc(pts)
 
-	p.buildSignatures(w, s, inPts)
-	p.buildEffectiveness(w, s, inPts, pts)
-	p.buildSchedule(s)
+	p.buildSignatures(w, s.SnapshotAt(t0).States, inPts)
+	caps := make(map[timeline.EntityID]*captures)
+	for _, ev := range s.Log().Events() {
+		if ev.At > t0 {
+			break
+		}
+		observeCapture(caps, ev, w, inPts)
+	}
+	p.buildEffectiveness(w, caps, pts)
+	var sched scheduleStats
+	for _, ev := range s.Log().Events() {
+		if ev.At > t0 {
+			break
+		}
+		sched.observe(ev.At)
+	}
+	p.applySchedule(sched, s.UpdateInterval())
 
 	alive := w.AliveCount(t0, pts)
 	if alive > 0 {
@@ -101,13 +108,27 @@ func Build(w *world.World, s *source.Source, t0 timeline.Tick, pts []world.Domai
 	return p, nil
 }
 
-// buildSignatures materialises the source at t0 and classifies each held
-// entity against the world.
-func (p *Profile) buildSignatures(w *world.World, s *source.Source, inPts func(world.DomainPoint) bool) {
+// inPtsFunc compiles a domain-point restriction into a membership predicate
+// (nil pts = no restriction).
+func inPtsFunc(pts []world.DomainPoint) func(world.DomainPoint) bool {
+	if pts == nil {
+		return func(world.DomainPoint) bool { return true }
+	}
+	set := make(map[world.DomainPoint]bool, len(pts))
+	for _, pt := range pts {
+		set[pt] = true
+	}
+	return func(pt world.DomainPoint) bool { return set[pt] }
+}
+
+// buildSignatures classifies each entity of a source snapshot (its
+// entity-state map at T0) against the world. The bitset adds are
+// order-independent, so any map works — Build passes a materialised
+// snapshot, Tracker its incrementally maintained state.
+func (p *Profile) buildSignatures(w *world.World, states map[timeline.EntityID]timeline.EntityState, inPts func(world.DomainPoint) bool) {
 	n := w.NumEntities()
 	p.B, p.Bcov, p.Bup = bitset.New(n), bitset.New(n), bitset.New(n)
-	snap := s.SnapshotAt(p.T0)
-	for id, st := range snap.States {
+	for id, st := range states {
 		e := w.Entity(id)
 		if !inPts(e.Point) {
 			continue
@@ -124,51 +145,57 @@ func (p *Profile) buildSignatures(w *world.World, s *source.Source, inPts func(w
 	}
 }
 
-// buildEffectiveness extracts the exact and right-censored delay
-// observations for insertions, deletions and value updates, and fits the
-// Kaplan–Meier distributions. When the profile is restricted to pts, the
-// per-point entity index keeps the scan proportional to the restriction.
-func (p *Profile) buildEffectiveness(w *world.World, s *source.Source, inPts func(world.DomainPoint) bool, pts []world.DomainPoint) {
-	// Index the source's captures per entity.
-	type captures struct {
-		ins    timeline.Tick
-		hasIns bool
-		del    timeline.Tick
-		hasDel bool
-		upd    map[int]timeline.Tick // version → capture tick
-	}
-	caps := make(map[timeline.EntityID]*captures)
-	for _, ev := range s.Log().Events() {
-		if ev.At > p.T0 {
-			break
-		}
-		if !inPts(w.Entity(ev.Entity).Point) {
-			continue
-		}
-		c := caps[ev.Entity]
-		if c == nil {
-			c = &captures{}
-			caps[ev.Entity] = c
-		}
-		switch ev.Kind {
-		case timeline.Appear:
-			if !c.hasIns {
-				c.ins, c.hasIns = ev.At, true
-			}
-		case timeline.Disappear:
-			if !c.hasDel {
-				c.del, c.hasDel = ev.At, true
-			}
-		case timeline.Update:
-			if c.upd == nil {
-				c.upd = make(map[int]timeline.Tick)
-			}
-			if _, dup := c.upd[ev.Version]; !dup {
-				c.upd[ev.Version] = ev.At
-			}
-		}
-	}
+// captures indexes one entity's capture ticks at a source: the first
+// Appear/Disappear capture and, per version, the first Update capture.
+// "First capture wins" matches replay order, so the index is a pure fold
+// over the time-ordered event stream — the sufficient statistic behind the
+// Kaplan–Meier effectiveness fits.
+type captures struct {
+	ins    timeline.Tick
+	hasIns bool
+	del    timeline.Tick
+	hasDel bool
+	upd    map[int]timeline.Tick // version → capture tick
+}
 
+// observeCapture folds one source event into the capture index. Events must
+// arrive in Log order (timeline.Less); it is the single definition of the
+// capture semantics, shared by Build's cold scan and Tracker's streaming
+// feed.
+func observeCapture(caps map[timeline.EntityID]*captures, ev timeline.Event, w *world.World, inPts func(world.DomainPoint) bool) {
+	if !inPts(w.Entity(ev.Entity).Point) {
+		return
+	}
+	c := caps[ev.Entity]
+	if c == nil {
+		c = &captures{}
+		caps[ev.Entity] = c
+	}
+	switch ev.Kind {
+	case timeline.Appear:
+		if !c.hasIns {
+			c.ins, c.hasIns = ev.At, true
+		}
+	case timeline.Disappear:
+		if !c.hasDel {
+			c.del, c.hasDel = ev.At, true
+		}
+	case timeline.Update:
+		if c.upd == nil {
+			c.upd = make(map[int]timeline.Tick)
+		}
+		if _, dup := c.upd[ev.Version]; !dup {
+			c.upd[ev.Version] = ev.At
+		}
+	}
+}
+
+// buildEffectiveness extracts the exact and right-censored delay
+// observations for insertions, deletions and value updates from the capture
+// index, and fits the Kaplan–Meier distributions. When the profile is
+// restricted to pts, the per-point entity index keeps the scan proportional
+// to the restriction.
+func (p *Profile) buildEffectiveness(w *world.World, caps map[timeline.EntityID]*captures, pts []world.DomainPoint) {
 	var insObs, delObs, updObs []stats.Duration
 	entityIDs := func(fn func(e *world.Entity)) {
 		if pts == nil {
@@ -235,38 +262,48 @@ func fitKM(obs []stats.Duration) *stats.KaplanMeier {
 	return km
 }
 
-// buildSchedule estimates the source's update interval ūS from the
-// distinct timestamps of its content updates (the set MS of Section 4.1.2)
-// and records the last update tick tS0.
-func (p *Profile) buildSchedule(s *source.Source) {
-	var ticks []timeline.Tick
-	var last timeline.Tick = -1
-	for _, ev := range s.Log().Events() {
-		if ev.At > p.T0 {
-			break
-		}
-		if ev.At != last {
-			ticks = append(ticks, ev.At)
-			last = ev.At
-		}
+// scheduleStats accumulates the distinct content-update timestamps (the set
+// MS of Section 4.1.2) as (count, last tick, sum of gaps). Folding gaps
+// left-to-right in tick order makes the accumulated float sum identical to
+// a cold scan over the same stream — the schedule's sufficient statistic.
+type scheduleStats struct {
+	ticks  int
+	last   timeline.Tick
+	gapSum float64
+}
+
+// observe folds one event timestamp; timestamps must arrive in
+// nondecreasing order.
+func (st *scheduleStats) observe(at timeline.Tick) {
+	if st.ticks == 0 {
+		st.ticks, st.last = 1, at
+		return
 	}
-	if len(ticks) == 0 {
+	if at != st.last {
+		st.ticks++
+		st.gapSum += float64(at - st.last)
+		st.last = at
+	}
+}
+
+// applySchedule estimates the source's update interval ūS from the
+// accumulated schedule statistics and records the last update tick tS0.
+// declared is the source's declared interval, the fallback when fewer than
+// two distinct update ticks were observed.
+func (p *Profile) applySchedule(st scheduleStats, declared timeline.Tick) {
+	if st.ticks == 0 {
 		// A source with no observed update: fall back to its declared
 		// schedule so TS(t) remains well-defined.
-		p.UpdateInterval = float64(s.UpdateInterval())
+		p.UpdateInterval = float64(declared)
 		p.LastUpdate = 0
 		return
 	}
-	p.LastUpdate = ticks[len(ticks)-1]
-	if len(ticks) == 1 {
-		p.UpdateInterval = float64(s.UpdateInterval())
+	p.LastUpdate = st.last
+	if st.ticks == 1 {
+		p.UpdateInterval = float64(declared)
 		return
 	}
-	var sum float64
-	for i := 1; i < len(ticks); i++ {
-		sum += float64(ticks[i] - ticks[i-1])
-	}
-	p.UpdateInterval = sum / float64(len(ticks)-1)
+	p.UpdateInterval = st.gapSum / float64(st.ticks-1)
 }
 
 // WithDivisor derives a profile whose updates are acquired every

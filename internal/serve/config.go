@@ -68,6 +68,25 @@ type Config struct {
 	// Defaults to 1 MiB.
 	MaxBodyBytes int64
 
+	// IngestEpoch, when positive, enables streaming ingestion: POST
+	// /v1/observe buffers observations and an epoch scheduler commits them
+	// at this interval — each commit appends a durable epoch record (when
+	// IngestDir is set), folds the delta into the incremental refit and
+	// publishes the refitted estimator as a new serving generation.
+	// Ingestion is mutually exclusive with SnapshotDir: a hot reload would
+	// silently discard streamed history.
+	IngestEpoch time.Duration
+
+	// IngestDir, when non-empty, is the durable epoch-log directory; on
+	// restart committed epochs are recovered and refolded before serving.
+	// Empty keeps epochs in memory only.
+	IngestDir string
+
+	// IngestMaxLag bounds buffered (uncommitted) observations; past it
+	// /v1/observe sheds load with 429 until the next epoch commit drains
+	// the buffer. 0 means ingest.DefaultMaxPending.
+	IngestMaxLag int
+
 	// FreshnessWarnFactor and FreshnessStaleFactor are the GET /v1/freshness
 	// classification thresholds, as multiples of each source's fitted mean
 	// update interval ūS: a source whose age exceeds warn·ūS + capture-lag

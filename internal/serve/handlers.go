@@ -405,7 +405,7 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 // and whether a rolled snapshot actually took effect.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	gen := s.current()
-	writeJSON(w, http.StatusOK, map[string]any{
+	resp := map[string]any{
 		"status":         "ok",
 		"dataset":        gen.d.Name,
 		"generation":     gen.id,
@@ -414,7 +414,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"commit":         version.Commit,
 		"go":             runtime.Version(),
 		"uptime_seconds": time.Since(s.start).Seconds(),
-	})
+	}
+	if s.ing != nil {
+		resp["ingest"] = map[string]any{
+			"epoch":     s.ing.Seq(),
+			"watermark": int64(s.ing.Watermark()),
+			"pending":   s.ing.Pending(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleMetrics exposes the obs registry. The default is the Prometheus

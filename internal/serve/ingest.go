@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"freshsource/internal/core"
+	"freshsource/internal/dataset"
+	"freshsource/internal/ingest"
+	"freshsource/internal/modelcache"
+	"freshsource/internal/obs"
+	"freshsource/internal/timeline"
+)
+
+// ObserveEvent is one streamed observation in the body of POST /v1/observe.
+type ObserveEvent struct {
+	Source  int    `json:"source"`
+	Entity  int64  `json:"entity"`
+	Kind    string `json:"kind"` // appear|update|disappear
+	At      int64  `json:"at"`
+	Version int    `json:"version,omitempty"`
+}
+
+// ObserveRequest is the body of POST /v1/observe: a batch of observations
+// for the next ingest epoch. The batch is atomic — one invalid observation
+// rejects it all.
+type ObserveRequest struct {
+	Observations []ObserveEvent `json:"observations"`
+}
+
+// ObserveResponse is the body of a 202 from POST /v1/observe.
+type ObserveResponse struct {
+	Accepted int `json:"accepted"`
+	// Pending is the buffered observation count after this batch;
+	// Watermark and Epoch identify the last committed epoch.
+	Pending   int    `json:"pending"`
+	Watermark int64  `json:"watermark"`
+	Epoch     uint64 `json:"epoch"`
+}
+
+// EpochInfo describes one published ingest epoch.
+type EpochInfo struct {
+	// Epoch is the committed epoch sequence number; Generation is the
+	// serving generation it was published as.
+	Epoch        uint64 `json:"epoch"`
+	Generation   uint64 `json:"generation"`
+	Watermark    int64  `json:"watermark"`
+	Observations int    `json:"observations"`
+}
+
+var eventKinds = map[string]timeline.EventKind{
+	"appear":    timeline.Appear,
+	"update":    timeline.Update,
+	"disappear": timeline.Disappear,
+}
+
+// handleObserve buffers a batch of streamed observations. Backpressure
+// (the pending buffer at cfg.IngestMaxLag) is a 429 with Retry-After set
+// to the epoch interval; an observation at or behind the committed
+// watermark is a 409 (the epoch that covered its tick is already sealed).
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req ObserveRequest
+	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	if len(req.Observations) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty observation batch")
+		return
+	}
+	batch := make([]ingest.Observation, len(req.Observations))
+	for i, o := range req.Observations {
+		kind, ok := eventKinds[o.Kind]
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "observation %d: unknown kind %q", i, o.Kind)
+			return
+		}
+		batch[i] = ingest.Observation{
+			Source: o.Source,
+			Event: timeline.Event{
+				Entity:  timeline.EntityID(o.Entity),
+				Kind:    kind,
+				At:      timeline.Tick(o.At),
+				Version: o.Version,
+			},
+		}
+	}
+	if err := s.ing.Submit(batch); err != nil {
+		var stale *ingest.StaleError
+		switch {
+		case errors.Is(err, ingest.ErrBackpressure):
+			obs.Counter("serve.ingest.backpressure").Inc()
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.IngestEpoch.Seconds())+1))
+			writeErr(w, http.StatusTooManyRequests, "%v", err)
+		case errors.As(err, &stale):
+			obs.Counter("serve.ingest.stale").Inc()
+			writeErr(w, http.StatusConflict, "%v", err)
+		default:
+			obs.Counter("serve.ingest.rejected").Inc()
+			writeErr(w, http.StatusBadRequest, "%v", err)
+		}
+		return
+	}
+	obs.Counter("serve.ingest.accepted").Add(int64(len(batch)))
+	obs.Gauge("serve.ingest.pending").Set(float64(s.ing.Pending()))
+	writeJSON(w, http.StatusAccepted, ObserveResponse{
+		Accepted:  len(batch),
+		Pending:   s.ing.Pending(),
+		Watermark: int64(s.ing.Watermark()),
+		Epoch:     s.ing.Seq(),
+	})
+}
+
+// CommitEpoch seals the pending observations into an epoch and publishes
+// the refit estimator as a new serving generation. With nothing pending
+// and nothing dirty it is a no-op returning (nil, nil).
+//
+// The publish mirrors a hot reload's swap semantics: the new generation's
+// dataset carries the extended sources with the training cut advanced to
+// the epoch watermark, its registry is seeded with the refit model set
+// (no cold fit), and in-flight requests finish on the generation they
+// started with. On any failure the last-good generation keeps serving and
+// the epoch stays dirty — the next commit retries the refit without
+// re-applying observations.
+func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if s.ing == nil {
+		return nil, errors.New("serve: ingestion not enabled")
+	}
+	sp := obs.Start("serve.ingest.commit.seconds")
+	defer sp.End()
+
+	ep, err := s.ing.Commit(ctx)
+	if err != nil {
+		obs.Counter("serve.ingest.epoch_failures").Inc()
+		return nil, err
+	}
+	if ep == nil {
+		return nil, nil
+	}
+
+	cur := s.current()
+	nd := &dataset.Dataset{Name: cur.d.Name, World: cur.d.World, Sources: ep.Sources, T0: ep.Watermark}
+	if err := validateDataset(nd); err != nil {
+		obs.Counter("serve.ingest.epoch_failures").Inc()
+		return nil, fmt.Errorf("serve: epoch %d: %w", ep.Seq, err)
+	}
+	tr, err := core.FromEstimator(ep.Est, ep.Watermark, core.TrainOptions{FitWorkers: s.cfg.FitWorkers})
+	if err != nil {
+		obs.Counter("serve.ingest.epoch_failures").Inc()
+		return nil, fmt.Errorf("serve: epoch %d: %w", ep.Seq, err)
+	}
+	maxEntries := s.cfg.MaxCacheEntries
+	if maxEntries <= 0 {
+		maxEntries = defaultCacheEntries(len(nd.Sources))
+	}
+	g := &generation{
+		id:     cur.id + 1,
+		d:      nd,
+		reg:    NewRegistry(s.life, nd, maxEntries, s.cfg.FitWorkers, s.mc),
+		digest: modelcache.Digest(nd.World, nd.Sources),
+	}
+	g.reg.SeedTrained(tr)
+	// The old registry is not closed on swap (same rule as Reload):
+	// in-flight requests holding the old generation finish on its caches;
+	// s.life cancels any stray fits at shutdown.
+	s.install(g)
+	obs.Counter("serve.ingest.epochs").Inc()
+	obs.Counter("serve.ingest.observations").Add(int64(ep.Observations))
+	obs.Gauge("serve.ingest.epoch").Set(float64(ep.Seq))
+	obs.Gauge("serve.ingest.watermark").Set(float64(ep.Watermark))
+	return &EpochInfo{
+		Epoch:        ep.Seq,
+		Generation:   g.id,
+		Watermark:    int64(ep.Watermark),
+		Observations: ep.Observations,
+	}, nil
+}
+
+// epochLoop is the ingest scheduler: every cfg.IngestEpoch it commits the
+// pending buffer, bounded per tick by cfg.ReloadTimeout (a commit refits a
+// full model set, so it is bounded like a reload, not like a request).
+// Commit errors are counted and retried on the next tick — observations
+// are never dropped by a failed refit.
+func (s *Server) epochLoop(ctx context.Context) {
+	tick := time.NewTicker(s.cfg.IngestEpoch)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		cctx, cancel := context.WithTimeout(ctx, s.cfg.ReloadTimeout)
+		_, err := s.CommitEpoch(cctx)
+		cancel()
+		if err != nil && ctx.Err() == nil {
+			obs.Counter("serve.ingest.scheduler_errors").Inc()
+		}
+	}
+}

@@ -171,6 +171,19 @@ func (r *Registry) fit(key string, e *trainedEntry, divisors []int) {
 	}
 }
 
+// SeedTrained pre-populates the base (no-divisor) trained entry with an
+// already fitted model set, so a generation published by the ingestion
+// epoch path serves immediately without refitting what the incremental
+// refit just produced. Divisor-variant configurations still fit lazily
+// from the generation's (extended) sources on first use.
+func (r *Registry) SeedTrained(tr *core.Trained) {
+	e := &trainedEntry{ready: make(chan struct{}), tr: tr}
+	close(e.ready)
+	r.mu.Lock()
+	r.trained[""] = e
+	r.mu.Unlock()
+}
+
 // Problem returns the assembled selection problem for (divisors, gain,
 // metric, budget, ticks), building and caching it over the warm Trained.
 func (r *Registry) Problem(ctx context.Context, divisors []int, gainName, metric string, budget float64, ticks []timeline.Tick) (*core.Problem, error) {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"freshsource/internal/dataset"
+	"freshsource/internal/ingest"
 	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 )
@@ -37,6 +38,7 @@ type generation struct {
 //	POST /v1/quality  evaluate an explicit candidate set (gated, timed out)
 //	GET  /v1/sources  describe the loaded snapshot
 //	POST /v1/reload   stage, validate, fit and swap in a new snapshot
+//	POST /v1/observe  buffer streamed observations for the next ingest epoch
 //	GET  /v1/freshness classify every source fresh/warning/stale
 //	GET  /healthz     liveness + build version + serving generation
 //	GET  /metrics     Prometheus text exposition (?format=json for the raw snapshot)
@@ -47,6 +49,10 @@ type Server struct {
 	gate *Gate
 	mux  *http.ServeMux
 	addr atomic.Value // string; bound address once serving
+
+	// ing is the streaming-ingestion pipeline (nil unless cfg.IngestEpoch
+	// is set); commits publish new generations through CommitEpoch.
+	ing *ingest.Ingester
 
 	// start anchors the uptime reported by /healthz.
 	start time.Time
@@ -93,12 +99,39 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	}
 	s.install(gen)
 
+	if cfg.IngestEpoch > 0 {
+		if cfg.SnapshotDir != "" {
+			stop()
+			return nil, errors.New("serve: streaming ingestion and snapshot hot reload are mutually exclusive")
+		}
+		ing, err := ingest.New(context.Background(), d, ingest.Config{
+			Dir: cfg.IngestDir, MaxPending: cfg.IngestMaxLag, FitWorkers: cfg.FitWorkers,
+		})
+		if err != nil {
+			stop()
+			return nil, fmt.Errorf("serve: ingest: %w", err)
+		}
+		s.ing = ing
+		// Recovery replayed durable epochs: republish them before taking
+		// traffic, so the serving generation reflects every committed epoch.
+		if ing.Dirty() {
+			if _, err := s.CommitEpoch(context.Background()); err != nil {
+				stop()
+				ing.Close()
+				return nil, fmt.Errorf("serve: ingest recovery: %w", err)
+			}
+		}
+	}
+
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/select", obs.Instrument("select", s.gated(http.HandlerFunc(s.handleSelect))))
 	s.mux.Handle("/v1/quality", obs.Instrument("quality", s.gated(http.HandlerFunc(s.handleQuality))))
 	s.mux.Handle("/v1/sources", obs.Instrument("sources", http.HandlerFunc(s.handleSources)))
 	s.mux.Handle("/v1/reload", obs.Instrument("reload", http.HandlerFunc(s.handleReload)))
 	s.mux.Handle("/v1/freshness", obs.Instrument("freshness", http.HandlerFunc(s.handleFreshness)))
+	if s.ing != nil {
+		s.mux.Handle("/v1/observe", obs.Instrument("observe", http.HandlerFunc(s.handleObserve)))
+	}
 	s.mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
 	s.mux.Handle("/metrics", obs.Instrument("metrics", http.HandlerFunc(s.handleMetrics)))
 	return s, nil
@@ -216,9 +249,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *Registry { return s.current().reg }
 
 // Close retires the server's background work: fits in flight on every
-// live generation are canceled. Serve calls it after the drain; tests
-// that never Serve may call it directly.
-func (s *Server) Close() { s.stop() }
+// live generation are canceled and the ingestion log (if any) is released.
+// Serve calls it after the drain; tests that never Serve may call it
+// directly.
+func (s *Server) Close() {
+	s.stop()
+	if s.ing != nil {
+		s.ing.Close()
+	}
+}
 
 // Addr returns the bound listen address once ListenAndServe is up ("" before).
 func (s *Server) Addr() string {
@@ -247,6 +286,9 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
+	if s.ing != nil {
+		go s.epochLoop(ctx)
+	}
 
 	select {
 	case err := <-errc:

@@ -93,6 +93,11 @@ func less(a, b Event) bool {
 	return a.Version < b.Version
 }
 
+// Less is the canonical replay order, exported for consumers that merge
+// event streams (the streaming-ingestion epoch path) and must interleave
+// exactly as a Log would sort.
+func Less(a, b Event) bool { return less(a, b) }
+
 func (l *Log) ensureSorted() {
 	if !l.sorted {
 		sort.Slice(l.events, func(i, j int) bool { return less(l.events[i], l.events[j]) })
