@@ -121,8 +121,13 @@ func TestIngesterCommitMatchesCold(t *testing.T) {
 			t.Fatalf("epoch %d: incremental estimator differs from cold fit", epoch)
 		}
 		cut = ep.Watermark
-		if in.Watermark() != cut || in.Dirty() {
+		// Commit leaves the epoch dirty until the publish is confirmed.
+		if in.Watermark() != cut || !in.Dirty() {
 			t.Fatalf("epoch %d: watermark=%d dirty=%v", epoch, in.Watermark(), in.Dirty())
+		}
+		in.Ack(ep.Seq)
+		if in.Dirty() {
+			t.Fatalf("epoch %d still dirty after Ack", epoch)
 		}
 	}
 
@@ -320,11 +325,119 @@ func TestCommitRefitFault(t *testing.T) {
 	if err != nil || ep == nil {
 		t.Fatalf("dirty recommit: %+v, %v", ep, err)
 	}
-	if ep.Seq != 1 || in.Dirty() {
+	if ep.Seq != 1 || !in.Dirty() {
 		t.Fatalf("recommit: seq=%d dirty=%v", ep.Seq, in.Dirty())
+	}
+	in.Ack(ep.Seq)
+	if in.Dirty() {
+		t.Fatal("still dirty after Ack")
 	}
 	if !bytes.Equal(exportBytes(t, ep.Est), exportBytes(t, coldEpoch(t, d, ep))) {
 		t.Fatal("recommitted estimator differs from cold fit")
+	}
+}
+
+// TestCommitPoisonedFoldRecovers pins the post-append failure mode the
+// hard way: the epoch frame is durably appended, then the fold is canceled
+// mid-epoch (the scheduler's timeout), poisoning the accumulator. The
+// retry must NOT append a second frame for the same sequence number —
+// recovery keeps only the first frame per seq, so a duplicate would
+// silently drop acknowledged observations after a restart — and must
+// rebuild the poisoned accumulator instead of staying bricked until a
+// process restart.
+func TestCommitPoisonedFoldRecovers(t *testing.T) {
+	d := testDataset(t)
+	dir := t.TempDir()
+	in, err := New(context.Background(), d, Config{Dir: dir, FitWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	rng := rand.New(rand.NewSource(13))
+
+	// One clean epoch first, so the rebuild has committed history to refold.
+	if err := in.Submit(synthBatch(rng, d, d.T0, d.T0+5, 12)); err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := in.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Ack(ep1.Seq)
+
+	if err := in.Submit(synthBatch(rng, d, ep1.Watermark, ep1.Watermark+5, 12)); err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The canceled context passes the durable append (no ctx involved) and
+	// then fails both the fold and the inline rebuild.
+	if _, err := in.Commit(cctx); err == nil {
+		t.Fatal("want fold failure under canceled context")
+	}
+	if in.Err() == nil {
+		t.Fatal("Err() should report the unfolded durable epoch")
+	}
+	if in.Seq() != 1 || in.Pending() != 12 {
+		t.Fatalf("poisoned state: seq=%d pending=%d", in.Seq(), in.Pending())
+	}
+
+	// Retry with a live context: the sealed record is NOT re-appended, the
+	// accumulator is rebuilt from snapshot + streamed history, and the
+	// epoch commits exactly.
+	ep2, err := in.Commit(context.Background())
+	if err != nil {
+		t.Fatalf("recovery commit: %v", err)
+	}
+	if ep2.Seq != 2 || in.Err() != nil {
+		t.Fatalf("recovered: seq=%d err=%v", ep2.Seq, in.Err())
+	}
+	if !bytes.Equal(exportBytes(t, ep2.Est), exportBytes(t, coldEpoch(t, d, ep2))) {
+		t.Fatal("rebuilt estimator differs from cold fit")
+	}
+	in.Close()
+
+	// Exactly one durable frame per epoch — no duplicate sequence numbers.
+	l, recs, err := OpenLog(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if len(recs) != 2 || l.Replayed != 0 || recs[0].Seq != 1 || recs[1].Seq != 2 {
+		t.Fatalf("log after recovery: %d records, %d replayed", len(recs), l.Replayed)
+	}
+}
+
+// TestAckStaleSeq pins that an Ack for a superseded epoch is ignored: the
+// dirty mark belongs to the newer committed epoch.
+func TestAckStaleSeq(t *testing.T) {
+	d := testDataset(t)
+	in, err := New(context.Background(), d, Config{FitWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer in.Close()
+	if err := in.Submit([]Observation{{Source: 0, Event: timeline.Event{Entity: 1, Kind: timeline.Appear, At: d.T0 + 2}}}); err != nil {
+		t.Fatal(err)
+	}
+	ep1, err := in.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Submit([]Observation{{Source: 0, Event: timeline.Event{Entity: 2, Kind: timeline.Appear, At: d.T0 + 4}}}); err != nil {
+		t.Fatal(err)
+	}
+	ep2, err := in.Commit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Ack(ep1.Seq) // stale: epoch 2 committed since
+	if !in.Dirty() {
+		t.Fatal("stale Ack cleared the dirty mark")
+	}
+	in.Ack(ep2.Seq)
+	if in.Dirty() {
+		t.Fatal("current Ack did not clear the dirty mark")
 	}
 }
 

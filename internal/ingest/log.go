@@ -13,9 +13,11 @@
 //
 // The epoch log is length-prefixed + CRC framed. Recovery replays committed
 // epochs in order, truncates a torn tail (a crash mid-append leaves a
-// partial frame; everything before it is intact), skips replayed or
-// duplicate epoch sequence numbers, and fails loudly on sequence gaps —
-// a gap means lost data, not a torn write.
+// partial frame; everything before it is intact), skips byte-identical
+// re-deliveries of an already committed epoch, and fails loudly on
+// sequence gaps and on duplicate sequence numbers with differing payloads
+// — a gap means lost data and a conflicting duplicate means a producer
+// wrote two different epochs under one number; neither is a torn write.
 package ingest
 
 import (
@@ -41,6 +43,13 @@ var logMagic = []byte("FSEPOCH1")
 // maxFrame bounds a frame payload; a length prefix beyond it is treated as
 // a torn/corrupt tail rather than attempted as an allocation.
 const maxFrame = 1 << 28
+
+// MaxEpochObservations is the largest observation count one epoch frame
+// can carry while its payload stays within maxFrame. Append rejects larger
+// records and the ingester clamps its pending bound to it — otherwise a
+// fsync'd committed epoch would decode as a torn tail on recovery and
+// silently vanish.
+const MaxEpochObservations = (maxFrame - epochHeaderSize) / obsSize
 
 // Observation is one streamed source capture event.
 type Observation struct {
@@ -71,9 +80,10 @@ type Log struct {
 
 // OpenLog opens (creating if needed) the epoch log in dir, recovers its
 // committed epochs and positions the file for appending. A torn tail —
-// short frame, bad CRC, undecodable payload — is truncated; frames whose
-// sequence number does not exceed the last committed one are skipped as
-// replays; a forward sequence gap is an error.
+// short frame, bad CRC, undecodable payload — is truncated; frames that
+// byte-identically re-deliver an already committed sequence number are
+// skipped as replays; a forward sequence gap, or a duplicate sequence
+// number with a different payload, is an error.
 func OpenLog(dir string) (*Log, []EpochRecord, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("ingest: %w", err)
@@ -109,6 +119,7 @@ func (l *Log) recover() ([]EpochRecord, error) {
 
 	var recs []EpochRecord
 	var lastSeq uint64
+	var sums []uint32 // CRC per committed seq (1-based), to vet duplicates
 	good := int64(len(logMagic))
 	buf := data[len(logMagic):]
 	torn := false
@@ -136,9 +147,15 @@ func (l *Log) recover() ([]EpochRecord, error) {
 		good += int64(8 + n)
 		buf = buf[8+int(n):]
 		if rec.Seq <= lastSeq {
-			// A replayed or duplicate epoch — an external producer re-sent
-			// an already committed frame. The data is already folded in;
-			// skip it but keep the frame (it is valid, just redundant).
+			// An already committed sequence number. A byte-identical frame
+			// is a replay — an external producer re-sent a committed epoch;
+			// the data is already folded in, so skip it but keep the frame.
+			// A differing payload is NOT a replay: keeping only the first
+			// frame would silently drop the observations in the others, so
+			// recovery treats it as corruption.
+			if rec.Seq == 0 || sum != sums[rec.Seq-1] {
+				return nil, fmt.Errorf("ingest: %s: epoch %d appears twice with different payloads", l.path, rec.Seq)
+			}
 			l.Replayed++
 			obs.Counter("ingest.log.replayed").Inc()
 			continue
@@ -147,6 +164,7 @@ func (l *Log) recover() ([]EpochRecord, error) {
 			return nil, fmt.Errorf("ingest: %s: epoch gap: %d -> %d", l.path, lastSeq, rec.Seq)
 		}
 		lastSeq = rec.Seq
+		sums = append(sums, sum)
 		recs = append(recs, rec)
 	}
 	if torn {
@@ -164,8 +182,14 @@ func (l *Log) recover() ([]EpochRecord, error) {
 
 // Append writes one epoch frame and syncs. The frame is written with a
 // single Write call, so a crash mid-append leaves at most one torn tail
-// frame for recovery to truncate.
+// frame for recovery to truncate. A record beyond MaxEpochObservations is
+// rejected before anything is written: its frame would exceed maxFrame,
+// which recovery classifies as a torn tail and truncates — a committed,
+// fsync'd epoch must never be encodable into an unrecoverable frame.
 func (l *Log) Append(rec EpochRecord) error {
+	if len(rec.Events) > MaxEpochObservations {
+		return fmt.Errorf("ingest: epoch %d: %d observations exceed the %d frame bound", rec.Seq, len(rec.Events), MaxEpochObservations)
+	}
 	payload := encodeEpoch(rec)
 	frame := make([]byte, 8+len(payload))
 	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
@@ -188,7 +212,10 @@ func (l *Log) Close() error { return l.f.Close() }
 //
 //	seq u64 | watermark i64 | count u32 |
 //	count × { source u32 | entity u64 | at i64 | version u32 | kind u8 }
-const obsSize = 4 + 8 + 8 + 4 + 1
+const (
+	epochHeaderSize = 8 + 8 + 4
+	obsSize         = 4 + 8 + 8 + 4 + 1
+)
 
 func encodeEpoch(rec EpochRecord) []byte {
 	buf := make([]byte, 8+8+4+obsSize*len(rec.Events))

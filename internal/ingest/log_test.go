@@ -188,6 +188,21 @@ func TestLogReplayedEpochs(t *testing.T) {
 	}
 }
 
+// TestLogDuplicateSeqConflict pins the corruption side of duplicate
+// handling: two frames under one sequence number with different payloads
+// cannot both be honored — recovery would keep only the first and silently
+// drop the second's observations — so recovery fails loudly instead.
+func TestLogDuplicateSeqConflict(t *testing.T) {
+	dir := t.TempDir()
+	openAppend(t, dir,
+		rec(1, 125, ob(0, 3, timeline.Appear, 123, 0)),
+		rec(1, 125, ob(0, 3, timeline.Appear, 123, 0), ob(1, 4, timeline.Update, 125, 1)))
+
+	if _, _, err := OpenLog(dir); err == nil {
+		t.Fatal("want error for duplicate seq with different payloads")
+	}
+}
+
 func TestLogSeqGap(t *testing.T) {
 	dir := t.TempDir()
 	openAppend(t, dir, rec(1, 125), rec(3, 140))

@@ -84,7 +84,9 @@ type Config struct {
 
 	// IngestMaxLag bounds buffered (uncommitted) observations; past it
 	// /v1/observe sheds load with 429 until the next epoch commit drains
-	// the buffer. 0 means ingest.DefaultMaxPending.
+	// the buffer. 0 means ingest.DefaultMaxPending; values above
+	// ingest.MaxEpochObservations are clamped so every sealed epoch fits
+	// in one durable log frame.
 	IngestMaxLag int
 
 	// FreshnessWarnFactor and FreshnessStaleFactor are the GET /v1/freshness

@@ -416,11 +416,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"uptime_seconds": time.Since(s.start).Seconds(),
 	}
 	if s.ing != nil {
-		resp["ingest"] = map[string]any{
+		ing := map[string]any{
 			"epoch":     s.ing.Seq(),
 			"watermark": int64(s.ing.Watermark()),
 			"pending":   s.ing.Pending(),
 		}
+		// A durable epoch the ingester could not fold (both the incremental
+		// fold and the rebuild failed) degrades the whole health report:
+		// serving continues on last-good, but the refit state lags the
+		// durable log until a later commit recovers.
+		if err := s.ing.Err(); err != nil {
+			ing["error"] = err.Error()
+			resp["status"] = "degraded"
+		}
+		resp["ingest"] = ing
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

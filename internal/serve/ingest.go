@@ -9,6 +9,7 @@ import (
 
 	"freshsource/internal/core"
 	"freshsource/internal/dataset"
+	"freshsource/internal/faults"
 	"freshsource/internal/ingest"
 	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
@@ -126,8 +127,10 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 // the epoch watermark, its registry is seeded with the refit model set
 // (no cold fit), and in-flight requests finish on the generation they
 // started with. On any failure the last-good generation keeps serving and
-// the epoch stays dirty — the next commit retries the refit without
-// re-applying observations.
+// the epoch stays dirty — the ingester is Acked only after the generation
+// swap, so a publish that fails at any stage ("ingest.publish" fault seam,
+// dataset validation, model derivation) is retried by the next commit even
+// if no new observations arrive.
 func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
@@ -144,6 +147,10 @@ func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 	}
 	if ep == nil {
 		return nil, nil
+	}
+	if err := faults.Inject("ingest.publish"); err != nil {
+		obs.Counter("serve.ingest.epoch_failures").Inc()
+		return nil, fmt.Errorf("serve: epoch %d publish: %w", ep.Seq, err)
 	}
 
 	cur := s.current()
@@ -172,6 +179,7 @@ func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 	// in-flight requests holding the old generation finish on its caches;
 	// s.life cancels any stray fits at shutdown.
 	s.install(g)
+	s.ing.Ack(ep.Seq)
 	obs.Counter("serve.ingest.epochs").Inc()
 	obs.Counter("serve.ingest.observations").Add(int64(ep.Observations))
 	obs.Gauge("serve.ingest.epoch").Set(float64(ep.Seq))

@@ -341,6 +341,92 @@ func TestChaosIngestRefitMidStream(t *testing.T) {
 	}
 }
 
+// TestChaosIngestPublishFault pins the publish-retry contract: when the
+// ingester's Commit succeeds but the generation publish fails, the epoch
+// stays dirty and the NEXT commit republishes it even though no new
+// observations arrived — the committed data must not be stranded behind a
+// no-op commit while /healthz advertises an epoch the serving generation
+// never reached.
+func TestChaosIngestPublishFault(t *testing.T) {
+	d := testDataset(t)
+	srv := newServer(t, ingestConfig(""))
+	defer srv.Close()
+	t0 := int64(d.T0)
+
+	if rec := postJSON(t, srv.Handler(), "/v1/observe", observeBody(
+		ev(0, 1, t0+3, "appear", 0),
+	)); rec.Code != 202 {
+		t.Fatalf("observe: %d", rec.Code)
+	}
+	faults.Set("ingest.publish", faults.Fault{Err: errors.New("publish blown"), Times: 1})
+	defer faults.Reset()
+	if _, err := srv.CommitEpoch(context.Background()); err == nil {
+		t.Fatal("want publish fault")
+	}
+	if srv.Generation() != 1 || srv.ing.Seq() != 1 || !srv.ing.Dirty() {
+		t.Fatalf("failed publish: gen=%d seq=%d dirty=%v", srv.Generation(), srv.ing.Seq(), srv.ing.Dirty())
+	}
+
+	// No new observations: the retry must still re-derive and publish the
+	// committed epoch.
+	info, err := srv.CommitEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || info.Epoch != 1 || info.Generation != 2 || info.Watermark != t0+3 || info.Observations != 1 {
+		t.Fatalf("republish: %+v", info)
+	}
+	if srv.ing.Dirty() {
+		t.Fatal("published epoch still dirty after Ack")
+	}
+}
+
+// TestChaosIngestFoldTimeout pins the degraded-health seam: an epoch fold
+// canceled mid-commit (the scheduler timeout) leaves a durable epoch the
+// accumulator could not absorb; /healthz turns degraded and reports the
+// error, and the next commit rebuilds, publishes and restores health.
+func TestChaosIngestFoldTimeout(t *testing.T) {
+	d := testDataset(t)
+	srv := newServer(t, ingestConfig(t.TempDir()))
+	defer srv.Close()
+	t0 := int64(d.T0)
+
+	if rec := postJSON(t, srv.Handler(), "/v1/observe", observeBody(
+		ev(1, 2, t0+5, "update", 1),
+	)); rec.Code != 202 {
+		t.Fatalf("observe: %d", rec.Code)
+	}
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := srv.CommitEpoch(cctx); err == nil {
+		t.Fatal("want fold failure under canceled context")
+	}
+
+	var hz struct {
+		Status string `json:"status"`
+		Ingest struct {
+			Error string `json:"error"`
+		} `json:"ingest"`
+	}
+	getJSON(t, srv.Handler(), "/healthz", &hz)
+	if hz.Status != "degraded" || hz.Ingest.Error == "" {
+		t.Fatalf("healthz during unfolded epoch: %+v", hz)
+	}
+
+	info, err := srv.CommitEpoch(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info == nil || info.Epoch != 1 || info.Generation != 2 {
+		t.Fatalf("recovered commit: %+v", info)
+	}
+	hz.Status, hz.Ingest.Error = "", "" // Unmarshal leaves absent keys untouched
+	getJSON(t, srv.Handler(), "/healthz", &hz)
+	if hz.Status != "ok" || hz.Ingest.Error != "" {
+		t.Fatalf("healthz after recovery: %+v", hz)
+	}
+}
+
 // TestIngestEpochScheduler pins the -ingest.epoch loop: a served instance
 // commits pending observations without any explicit trigger.
 func TestIngestEpochScheduler(t *testing.T) {
