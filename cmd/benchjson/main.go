@@ -15,6 +15,12 @@
 // on single-core runs the gate skips parallel-variant regressions with a
 // logged note, since fan-out cannot pay off without cores.
 //
+// With -require-faster "Fast<Slow,..." it additionally asserts speedups
+// exist: each Fast benchmark's ns/op must beat its Slow partner's in this
+// run. Applied whenever GOMAXPROCS > 1 (the multi-core profile), with or
+// without -compare, and never waived for numcpu=1 — this is the gate that
+// keeps the parallel CELF path genuinely faster than sequential.
+//
 // Usage:
 //
 //	go test -bench . ./internal/selection | benchjson -out BENCH_selection.json
@@ -38,6 +44,7 @@ func main() {
 	compare := flag.String("compare", "", "reference report to diff against; exit 1 on regression")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slowdown per benchmark in compare mode")
 	allocTolerance := flag.Float64("alloc-tolerance", 0.25, "allowed fractional allocs/op growth in compare mode (zero-alloc baselines are pinned exactly)")
+	requireFaster := flag.String("require-faster", "", "comma-separated Fast<Slow benchmark pairs that must hold in this run when GOMAXPROCS > 1 (pairs with absent benchmarks are skipped with a note; never waived for numcpu=1)")
 	flag.Parse()
 
 	rep, err := benchfmt.Parse(os.Stdin)
@@ -51,6 +58,33 @@ func main() {
 	// that just ran the benchmarks, so this describes the same host).
 	rep.Context["gomaxprocs"] = strconv.Itoa(runtime.GOMAXPROCS(0))
 	rep.Context["numcpu"] = strconv.Itoa(runtime.NumCPU())
+
+	if *requireFaster != "" {
+		pairs, err := benchfmt.ParseFasterPairs(*requireFaster)
+		if err != nil {
+			fatal(err)
+		}
+		// The check keys on gomaxprocs alone: at GOMAXPROCS=1 the runtime
+		// cannot overlap sweeps so "parallel beats sequential" is vacuously
+		// unachievable, but numcpu=1 with GOMAXPROCS>1 still overlaps on
+		// oracle math between scheduler slices — the committed multi-core
+		// profile proves speedups there, so the gate is NOT waived for it.
+		if rep.Context["gomaxprocs"] == "1" {
+			fmt.Fprintf(os.Stderr, "benchjson: note: -require-faster skipped (GOMAXPROCS=1)\n")
+		} else {
+			viols, skipped := benchfmt.CheckFaster(rep, pairs)
+			for _, p := range skipped {
+				fmt.Fprintf(os.Stderr, "benchjson: note: require-faster %s<%s skipped (benchmark absent from this run)\n", p.Fast, p.Slow)
+			}
+			for _, v := range viols {
+				fmt.Fprintf(os.Stderr, "benchjson: REQUIRE-FASTER FAILED %s (%.0f ns/op) is not faster than %s (%.0f ns/op)\n",
+					v.Pair.Fast, v.FastNs, v.Pair.Slow, v.SlowNs)
+			}
+			if len(viols) > 0 {
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *compare != "" {
 		raw, err := os.ReadFile(*compare)

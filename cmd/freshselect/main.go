@@ -39,6 +39,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "candidate-sweep workers: 0 = sequential, -1 = all cores")
 		cache    = flag.Bool("cache", false, "memoize oracle evaluations by candidate set")
 		lazy     = flag.Bool("lazy", false, "use lazy (CELF) greedy when -alg greedy and the gain is submodular")
+		spec     = flag.Int("celf.spec", 0, "CELF speculative batch stride per worker: 0 = default (on when -workers > 1), negative = purely lazy")
 		future   = flag.Int("future", 10, "number of future time points of interest")
 		fitWork  = flag.Int("fit.workers", 0, "model-fitting pool size (0 = GOMAXPROCS, 1 = sequential)")
 		mcDir    = flag.String("modelcache", "", "persistent model cache directory; a verified entry skips training (empty = disabled)")
@@ -109,7 +110,7 @@ func main() {
 	}
 	sel, err := prob.Solve(core.Algorithm(*alg), core.SolveOptions{
 		Kappa: *kappa, Rounds: *rounds, Seed: *seed,
-		Workers: *workers, Cache: *cache, Lazy: *lazy,
+		Workers: *workers, Cache: *cache, Lazy: *lazy, SpecStride: *spec,
 	})
 	if err != nil {
 		fatal(err)

@@ -9,15 +9,23 @@ package benchfmt
 
 import (
 	"bufio"
+	"fmt"
 	"io"
 	"regexp"
 	"strconv"
 	"strings"
 )
 
-// Benchmark is one parsed result line.
+// Benchmark is one parsed result line. Pkg is the package whose `pkg:`
+// header most recently preceded the line — `go test -bench` over several
+// packages emits one header block per package, so a report-level context
+// entry can only describe a single-package run (older reports recorded
+// whichever package parsed last, claiming e.g. internal/modelcache for the
+// selection benchmarks). Reports written before the field existed simply
+// lack it; the compare gate keys on Name and tolerates either layout.
 type Benchmark struct {
 	Name        string  `json:"name"`
+	Pkg         string  `json:"pkg,omitempty"`
 	Iterations  int64   `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  *int64  `json:"bytes_per_op,omitempty"`
@@ -101,16 +109,26 @@ type AllocRegression struct {
 var lineRe = regexp.MustCompile(`^Benchmark(\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 // Parse scans `go test -bench` output into a report (context lines and
-// benchmark result lines; everything else is ignored).
+// benchmark result lines; everything else is ignored). Each benchmark is
+// stamped with the package header in effect at its line; the report-level
+// Context["pkg"] is set only when the whole run came from one package, so
+// a multi-package run never misattributes its benchmarks to the package
+// that happened to print last.
 func Parse(r io.Reader) (Report, error) {
 	rep := Report{Context: map[string]string{}}
 	sc := bufio.NewScanner(r)
+	pkg := ""
+	pkgs := map[string]bool{}
 	for sc.Scan() {
 		line := sc.Text()
-		for _, key := range []string{"goos", "goarch", "pkg", "cpu"} {
+		for _, key := range []string{"goos", "goarch", "cpu"} {
 			if v, ok := strings.CutPrefix(line, key+": "); ok {
 				rep.Context[key] = v
 			}
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = v
+			pkgs[v] = true
 		}
 		m := lineRe.FindStringSubmatch(line)
 		if m == nil {
@@ -118,7 +136,7 @@ func Parse(r io.Reader) (Report, error) {
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
-		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		b := Benchmark{Name: m[1], Pkg: pkg, Iterations: iters, NsPerOp: ns}
 		if m[4] != "" {
 			v, _ := strconv.ParseInt(m[4], 10, 64)
 			b.BytesPerOp = &v
@@ -129,7 +147,22 @@ func Parse(r io.Reader) (Report, error) {
 		}
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
+	if len(pkgs) == 1 {
+		rep.Context["pkg"] = pkg
+	}
 	return rep, sc.Err()
+}
+
+// splitFamily separates a benchmark name into its family and variant at
+// the LAST slash, so nested families like ScaleCELF/15k/parallel group
+// under ScaleCELF/15k rather than colliding every corpus size into one
+// ScaleCELF family. Single-component names have no variant.
+func splitFamily(name string) (fam, variant string, ok bool) {
+	i := strings.LastIndex(name, "/")
+	if i < 0 {
+		return name, "", false
+	}
+	return name[:i], name[i+1:], true
 }
 
 // ComputeSpeedups fills rep.Speedups from the family baselines: Family/seq
@@ -138,7 +171,7 @@ func Parse(r io.Reader) (Report, error) {
 func ComputeSpeedups(rep *Report) {
 	base := map[string]float64{}
 	for _, b := range rep.Benchmarks {
-		fam, variant, ok := strings.Cut(b.Name, "/")
+		fam, variant, ok := splitFamily(b.Name)
 		if !ok {
 			continue
 		}
@@ -147,7 +180,7 @@ func ComputeSpeedups(rep *Report) {
 		}
 	}
 	for _, b := range rep.Benchmarks {
-		fam, variant, ok := strings.Cut(b.Name, "/")
+		fam, variant, ok := splitFamily(b.Name)
 		if !ok || variant == "seq" || variant == "scratch" {
 			continue
 		}
@@ -224,6 +257,66 @@ func CompareAllocs(ref, fresh Report, tolerance float64) []AllocRegression {
 		}
 	}
 	return regs
+}
+
+// FasterPair is one require-faster constraint: the Fast benchmark's ns/op
+// must come in strictly below the Slow one's within the same run. This is
+// the inverse of the regression gate — it asserts a speedup exists at all,
+// e.g. that the parallel CELF variant actually beats its sequential
+// baseline on a multi-core profile.
+type FasterPair struct {
+	Fast string
+	Slow string
+}
+
+// FasterViolation is one FasterPair the run failed.
+type FasterViolation struct {
+	Pair   FasterPair
+	FastNs float64
+	SlowNs float64
+}
+
+// ParseFasterPairs parses a "Fast<Slow,Fast<Slow" constraint list (the
+// benchjson -require-faster flag syntax).
+func ParseFasterPairs(s string) ([]FasterPair, error) {
+	var pairs []FasterPair
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fast, slow, ok := strings.Cut(part, "<")
+		if !ok || fast == "" || slow == "" {
+			return nil, fmt.Errorf("require-faster pair %q: want Fast<Slow", part)
+		}
+		pairs = append(pairs, FasterPair{Fast: fast, Slow: slow})
+	}
+	return pairs, nil
+}
+
+// CheckFaster evaluates the pairs against the run. Pairs with either side
+// absent are returned in skipped (quick bench profiles omit the full-scale
+// families; absence is a note, not a failure — the full run still gates).
+// Unlike the parallel-regression waiver this check is keyed on nothing:
+// callers decide applicability (benchjson applies it only when the
+// recorded gomaxprocs > 1, and never waives it for numcpu == 1).
+func CheckFaster(rep Report, pairs []FasterPair) (viols []FasterViolation, skipped []FasterPair) {
+	ns := make(map[string]float64, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		ns[b.Name] = b.NsPerOp
+	}
+	for _, p := range pairs {
+		fast, okF := ns[p.Fast]
+		slow, okS := ns[p.Slow]
+		if !okF || !okS {
+			skipped = append(skipped, p)
+			continue
+		}
+		if !(fast < slow) {
+			viols = append(viols, FasterViolation{Pair: p, FastNs: fast, SlowNs: slow})
+		}
+	}
+	return viols, skipped
 }
 
 // SingleCore reports whether the run had one usable core, per the

@@ -50,6 +50,110 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseMultiPackage pins the per-benchmark package capture: a run over
+// several packages stamps each benchmark with the package whose header
+// preceded it, and the report-level context carries no "pkg" entry (older
+// parsers recorded whichever package printed last, claiming the whole run
+// for it).
+func TestParseMultiPackage(t *testing.T) {
+	rep, err := Parse(strings.NewReader(`goos: linux
+pkg: freshsource/internal/selection
+BenchmarkGreedy/seq-2 	 100	 1000000 ns/op
+BenchmarkScaleCELF/15k/seq-2 	 2	 500000000 ns/op
+pkg: freshsource/internal/modelcache
+BenchmarkCacheHit-2 	 5000	 20000 ns/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	for i, want := range []string{
+		"freshsource/internal/selection",
+		"freshsource/internal/selection",
+		"freshsource/internal/modelcache",
+	} {
+		if got := rep.Benchmarks[i].Pkg; got != want {
+			t.Errorf("benchmark %d (%s): pkg %q, want %q", i, rep.Benchmarks[i].Name, got, want)
+		}
+	}
+	if v, ok := rep.Context["pkg"]; ok {
+		t.Errorf("multi-package run recorded context pkg %q, want none", v)
+	}
+
+	// A single-package run still records the unambiguous context entry.
+	one := parseSample(t)
+	if one.Context["pkg"] != "freshsource/internal/selection" {
+		t.Errorf("single-package context pkg = %q", one.Context["pkg"])
+	}
+	if one.Benchmarks[0].Pkg != "freshsource/internal/selection" {
+		t.Errorf("single-package entry pkg = %q", one.Benchmarks[0].Pkg)
+	}
+}
+
+// TestSpeedupsNestedFamily pins the last-slash family split: the Scale
+// benchmarks nest the corpus size inside the family (ScaleCELF/15k/parallel),
+// and each size must pair with its own seq baseline rather than all sizes
+// collapsing into one ScaleCELF family.
+func TestSpeedupsNestedFamily(t *testing.T) {
+	rep := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleCELF/1k/seq", NsPerOp: 10e6},
+		{Name: "ScaleCELF/1k/parallel", NsPerOp: 5e6},
+		{Name: "ScaleCELF/15k/seq", NsPerOp: 900e6},
+		{Name: "ScaleCELF/15k/parallel", NsPerOp: 300e6},
+	}}
+	ComputeSpeedups(&rep)
+	if len(rep.Speedups) != 2 {
+		t.Fatalf("speedups: %+v, want one per corpus size", rep.Speedups)
+	}
+	byFam := map[string]Speedup{}
+	for _, s := range rep.Speedups {
+		byFam[s.Family] = s
+	}
+	if s := byFam["ScaleCELF/1k"]; s.Variant != "parallel" || s.Speedup != 2 {
+		t.Errorf("1k speedup: %+v", s)
+	}
+	if s := byFam["ScaleCELF/15k"]; s.SeqNs != 900e6 || s.Speedup != 3 {
+		t.Errorf("15k speedup: %+v", s)
+	}
+}
+
+// TestRequireFaster pins the -require-faster gate semantics: violated
+// pairs (including exact ties) fail, satisfied pairs pass, and pairs whose
+// benchmarks the run omitted are skipped, not failed — the quick bench
+// profile must not trip the full-scale constraint.
+func TestRequireFaster(t *testing.T) {
+	pairs, err := ParseFasterPairs(" ScaleCELF/15k/parallel<ScaleCELF/15k/seq , Greedy/parallel+incr<Greedy/incr ,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 2 || pairs[0].Fast != "ScaleCELF/15k/parallel" || pairs[1].Slow != "Greedy/incr" {
+		t.Fatalf("parsed pairs: %+v", pairs)
+	}
+	if _, err := ParseFasterPairs("no-separator"); err == nil {
+		t.Error("malformed pair accepted")
+	}
+
+	rep := Report{Benchmarks: []Benchmark{
+		{Name: "ScaleCELF/15k/seq", NsPerOp: 900e6},
+		{Name: "ScaleCELF/15k/parallel", NsPerOp: 300e6},
+	}}
+	viols, skipped := CheckFaster(rep, pairs)
+	if len(viols) != 0 {
+		t.Errorf("satisfied pair flagged: %+v", viols)
+	}
+	if len(skipped) != 1 || skipped[0].Fast != "Greedy/parallel+incr" {
+		t.Errorf("skipped: %+v, want the absent Greedy pair", skipped)
+	}
+
+	rep.Benchmarks[1].NsPerOp = 900e6 // tie: parallel must be strictly faster
+	viols, _ = CheckFaster(rep, pairs)
+	if len(viols) != 1 || viols[0].Pair.Fast != "ScaleCELF/15k/parallel" || viols[0].SlowNs != 900e6 {
+		t.Errorf("tie not flagged: %+v", viols)
+	}
+}
+
 // TestParseFreshbenchLines pins the serving-harness contract: the lines
 // freshbench prints (no -N GOMAXPROCS suffix, one iteration) must parse
 // into comparable benchmarks.

@@ -230,6 +230,13 @@ type SolveOptions struct {
 	// the gain function is submodular (where it is exact); otherwise it is
 	// ignored.
 	Lazy bool
+	// SpecStride tunes the CELF path's speculative batched re-evaluation:
+	// when the lazy heap's top is stale, Workers×SpecStride stale entries
+	// are recomputed concurrently before the sequential adoption step. The
+	// selection is byte-identical at any stride — only the probe count
+	// varies. 0 keeps the default (speculate only with Workers > 1);
+	// negative disables speculation. Ignored outside the CELF path.
+	SpecStride int
 }
 
 func (o SolveOptions) withDefaults() SolveOptions {
@@ -301,6 +308,9 @@ func (p *Problem) SolveContext(ctx context.Context, alg Algorithm, opt SolveOpti
 	var sopts []selection.Option
 	if opt.Workers != 0 {
 		sopts = append(sopts, selection.Parallel(opt.Workers))
+	}
+	if opt.SpecStride != 0 {
+		sopts = append(sopts, selection.Speculative(opt.SpecStride))
 	}
 	if ctx != nil && ctx != context.Background() {
 		sopts = append(sopts, selection.Context(ctx))

@@ -33,6 +33,30 @@ func TestLazyGreedyMatchesGreedyEndToEnd(t *testing.T) {
 	if l.OracleCalls > g.OracleCalls {
 		t.Errorf("lazy used more calls (%d) than greedy (%d)", l.OracleCalls, g.OracleCalls)
 	}
+
+	// The speculative-CELF plumbing (SolveOptions.SpecStride, the CLI's
+	// -celf.spec): concurrent batched re-evaluation must select the same
+	// set at the same profit, spending at most the speculation margin in
+	// extra calls — never fewer than the purely lazy run.
+	s, err := prob.Solve(LazyGreedy, SolveOptions{Workers: 4, SpecStride: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s.Profit-l.Profit) > 0 {
+		t.Errorf("speculative profit %v != lazy %v (not bit-identical)", s.Profit, l.Profit)
+	}
+	if len(s.Set) != len(l.Set) {
+		t.Errorf("speculative set %v != lazy %v", s.Set, l.Set)
+	}
+	for i := range s.Set {
+		if s.Set[i] != l.Set[i] {
+			t.Errorf("speculative set %v != lazy %v", s.Set, l.Set)
+			break
+		}
+	}
+	if s.OracleCalls < l.OracleCalls {
+		t.Errorf("speculative run used fewer calls (%d) than purely lazy (%d)", s.OracleCalls, l.OracleCalls)
+	}
 }
 
 func TestBudgetedSolveUnderTightBudget(t *testing.T) {

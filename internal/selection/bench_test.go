@@ -1,6 +1,7 @@
 package selection
 
 import (
+	"runtime"
 	"testing"
 
 	"freshsource/internal/dataset"
@@ -82,9 +83,13 @@ func benchVariants(e *benchEnv) []struct {
 		opts   []Option
 	}{
 		{"seq", func() Oracle { return fullOracle{e.profit} }, nil},
+		// incr and parallel+incr are gated pairwise against each other
+		// (benchjson -require-faster in the multicore profile), so they
+		// run back-to-back: adjacent windows share the same host-load
+		// weather, keeping the comparison about the code.
 		{"incr", func() Oracle { return e.profit }, nil},
-		{"incr+cache", func() Oracle { return Cached(e.profit) }, nil},
 		{"parallel+incr", func() Oracle { return e.profit }, []Option{Parallel(-1)}},
+		{"incr+cache", func() Oracle { return Cached(e.profit) }, nil},
 	}
 }
 
@@ -92,6 +97,12 @@ func BenchmarkGreedy(b *testing.B) {
 	e := benchProblem(b)
 	for _, v := range benchVariants(e) {
 		b.Run(v.name, func(b *testing.B) {
+			// Collected heap at the start of every variant: the variants
+			// are compared pairwise (benchjson -require-faster), and GC
+			// assist debt inherited from the previous variant's garbage
+			// would bias whichever one happens to run later.
+			runtime.GC()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := Greedy(v.oracle(), e.n, v.opts...)
 				if len(r.Set) == 0 {
@@ -106,6 +117,8 @@ func BenchmarkGRASP(b *testing.B) {
 	e := benchProblem(b)
 	for _, v := range benchVariants(e) {
 		b.Run(v.name, func(b *testing.B) {
+			runtime.GC()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				r := GRASP(v.oracle(), e.n, 3, 2, stats.NewRNG(17), v.opts...)
 				if len(r.Set) == 0 {

@@ -100,6 +100,23 @@ func (h *celfHeap) pop() celfEntry {
 	return top
 }
 
+func (h celfHeap) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !celfBefore(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+// push inserts e, restoring the heap order.
+func (h *celfHeap) push(e celfEntry) {
+	*h = append(*h, e)
+	(*h).siftUp(len(*h) - 1)
+}
+
 // LazyGreedy is the CELF-accelerated greedy: plain Greedy's move sequence
 // driven by a max-heap of stale marginal gains instead of a full candidate
 // rescan per round. On monotone submodular objectives (and any objective
@@ -111,63 +128,93 @@ func (h *celfHeap) pop() celfEntry {
 // infeasible set stay infeasible — true of the additive budget and of
 // matroid constraints), as rejected candidates are dropped for good.
 //
-// The initial singleton sweep fans across workers like Greedy's; every
-// subsequent re-evaluation pops the heap sequentially, so Set, Value and
-// OracleCalls are all identical at any worker count.
+// The initial singleton sweep fans across workers like Greedy's, written
+// straight into per-worker heap shards (shardheap.go); stale entries are
+// then re-evaluated either purely lazily — one sequential heap pop at a
+// time — or speculatively in concurrent batches of the top-K stale
+// entries (the Speculative option; on by default with Workers > 1).
+// Adoption is always sequential in Greedy's exact argmax order, so Set
+// and Value are byte-identical to Greedy at any worker count and any
+// speculation stride; OracleCalls is identical on purely lazy runs and
+// may grow by the speculation margin otherwise (reported via the
+// selection.lazygreedy.speculative_{recomputes,wasted} counters).
 func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 	co, rt := traceRun(f, "lazygreedy")
 	stale := obs.Counter("selection.lazygreedy.stale_recomputes")
 	adds := obs.Counter("selection.lazygreedy.adds")
+	specRecomputes := obs.Counter("selection.lazygreedy.speculative_recomputes")
+	specWasted := obs.Counter("selection.lazygreedy.speculative_wasted")
 	ev := newEvaluator(opts)
+	defer ev.close()
 	var set []int
 	cur := co.Value(set)
 
 	// Initial bounds: one full singleton sweep — exactly Greedy's first
-	// round, so the heap starts from the same values Greedy scans.
-	vals := make([]float64, n)
-	ok := make([]bool, n)
+	// round, so the heap starts from the same values Greedy scans — built
+	// shard-concurrently with no global scratch arrays or serial heapify.
 	probe := beginAdds(co, set)
-	ev.sweep(n, func(x int) {
-		ok[x] = false
+	h := buildShardHeap(ev, n, cur, func(x int) (float64, bool) {
 		cand := with(set, x)
 		if !co.Feasible(cand) {
-			return
+			return 0, false
 		}
-		vals[x] = probe.value(cand, x)
-		ok[x] = true
+		return probe.value(cand, x), true
 	})
 	if ev.canceled() {
 		return rt.finishErr(set, cur, ErrCanceled)
 	}
-	h := make(celfHeap, 0, n)
-	for x := 0; x < n; x++ {
-		if ok[x] {
-			h = append(h, celfEntry{idx: int32(x), round: 0, gain: vals[x] - cur, val: vals[x]})
-		}
+
+	// batch carries one speculative round-trip's stale entries (entry,
+	// origin shard, recompute outcome); reused across batches.
+	type specProbe struct {
+		e     celfEntry
+		shard int
+		ok    bool
 	}
-	h.init()
+	var batch []specProbe
+	// specPending counts speculative recomputes since the last adoption.
+	// Exactly one of them becomes the next adopted argmax (every fresh
+	// entry at the current round came from a batch); the rest are the
+	// speculation waste charged to specWasted at adoption or exit.
+	specPending := 0
 
 	var round int32
-	for len(h) > 0 {
+	for h.len() > 0 {
 		if ev.canceled() {
 			// cur is the oracle-exact value of set after every completed
 			// move, so the canceled pair is already consistent.
 			return rt.finishErr(set, cur, ErrCanceled)
 		}
-		top := &h[0]
+		s, top := h.top()
 		if top.gain <= 0 {
 			// Even the most optimistic bound does not improve: Greedy's
 			// stopping condition (no value strictly above cur — a nonzero
 			// float difference never rounds to zero, so gain > 0 ⟺ val > cur).
 			break
 		}
-		if top.round != round {
-			// Stale bound: recompute against the current solution and
-			// restore the heap order. Infeasible candidates leave for good
-			// (downward-closed feasibility).
+		if top.round == round {
+			// Fresh and on top: this is Greedy's argmax. Adopt its oracle
+			// value directly (never cur + gain, which would accumulate
+			// rounding).
+			e := h.pop(s)
+			set = with(set, int(e.idx))
+			cur = e.val
+			round++
+			adds.Inc()
+			if specPending > 0 {
+				specWasted.Add(int64(specPending - 1))
+				specPending = 0
+			}
+			probe = beginAdds(co, set)
+			continue
+		}
+		if ev.spec < 2 {
+			// Purely lazy: recompute the stale top against the current
+			// solution and restore the heap order. Infeasible candidates
+			// leave for good (downward-closed feasibility).
 			cand := with(set, int(top.idx))
 			if !co.Feasible(cand) {
-				h.pop()
+				h.pop(s)
 				continue
 			}
 			v := probe.value(cand, int(top.idx))
@@ -175,17 +222,54 @@ func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 			top.gain = v - cur
 			top.round = round
 			stale.Inc()
-			h.siftDown(0)
+			h.fix(s)
 			continue
 		}
-		// Fresh and on top: this is Greedy's argmax. Adopt its oracle value
-		// directly (never cur + gain, which would accumulate rounding).
-		e := h.pop()
-		set = with(set, int(e.idx))
-		cur = e.val
-		round++
-		adds.Inc()
-		probe = beginAdds(co, set)
+		// Speculative batch: pop the top-K stale entries — the candidates
+		// lazy evaluation would most plausibly touch next — recompute their
+		// probes concurrently, and reinsert with fresh bounds. Adoption
+		// still happens sequentially on subsequent iterations, so the
+		// argmax is exactly the lazy path's; speculation only spends extra
+		// probes on entries whose recompute turns out not to decide the
+		// round.
+		batch = batch[:0]
+		for len(batch) < ev.spec && h.len() > 0 {
+			bs, bt := h.top()
+			if bt.round == round || bt.gain <= 0 {
+				break
+			}
+			batch = append(batch, specProbe{e: h.pop(bs), shard: bs})
+		}
+		ev.sweepEager(len(batch), func(k int) {
+			p := &batch[k]
+			p.ok = false
+			cand := with(set, int(p.e.idx))
+			if !co.Feasible(cand) {
+				return
+			}
+			v := probe.value(cand, int(p.e.idx))
+			p.e.val = v
+			p.e.gain = v - cur
+			p.e.round = round
+			p.ok = true
+		})
+		if ev.canceled() {
+			return rt.finishErr(set, cur, ErrCanceled)
+		}
+		recomputed := 0
+		for k := range batch {
+			if batch[k].ok {
+				recomputed++
+				h.push(batch[k].shard, batch[k].e)
+			}
+		}
+		stale.Add(int64(recomputed))
+		specRecomputes.Add(int64(recomputed))
+		specPending += recomputed
+	}
+	if specPending > 0 {
+		// Recomputes after the last adoption only confirmed termination.
+		specWasted.Add(int64(specPending))
 	}
 	return rt.finish(set, cur)
 }
@@ -197,6 +281,7 @@ func LazyGreedy(f Oracle, n int, opts ...Option) Result {
 func BudgetedGreedy(f Oracle, n int, cost func(int) float64, opts ...Option) Result {
 	co, rt := traceRun(f, "budgeted")
 	ev := newEvaluator(opts)
+	defer ev.close()
 
 	// Ratio greedy.
 	var set []int

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"freshsource/internal/matroid"
+	"freshsource/internal/obs"
 )
 
 // requireSameRun asserts two Results from the same algorithm are fully
@@ -25,10 +26,12 @@ func requireSameRun(t *testing.T, label string, want, got Result) {
 
 // TestScaleDeterminism pins the CELF contract at a paper-ish candidate
 // count: LazyGreedy returns exactly plain Greedy's selection — same set,
-// bit-identical value — while spending strictly fewer oracle calls, and
-// each algorithm's full Result (OracleCalls included) is identical at
-// worker counts 1 and 4. -short trims the instance so the -race run stays
-// cheap.
+// bit-identical value — at worker counts 1/2/4/8, with speculative
+// batched re-evaluation enabled throughout. The purely lazy path
+// (Speculative(-1)) additionally pins OracleCalls: strictly fewer than
+// Greedy's and identical at every worker count; speculative runs may only
+// spend more probes than the lazy run, never select differently. -short
+// trims the instance so the -race run stays cheap.
 func TestScaleDeterminism(t *testing.T) {
 	n := 1200
 	if testing.Short() {
@@ -40,30 +43,78 @@ func TestScaleDeterminism(t *testing.T) {
 	plain.maxSet = 24
 	o := &incrWC{wcOracle: *plain}
 
-	type pair struct{ greedy, celf Result }
-	var runs []pair
-	for _, workers := range []int{1, 4} {
-		g := Greedy(o, n, Parallel(workers))
-		l := LazyGreedy(o, n, Parallel(workers))
-		if !reflect.DeepEqual(g.Set, l.Set) {
-			t.Fatalf("workers=%d: celf set %v != greedy set %v", workers, l.Set, g.Set)
-		}
-		if g.Value != l.Value {
-			t.Fatalf("workers=%d: celf value %v != greedy value %v (not bit-identical)",
-				workers, l.Value, g.Value)
-		}
-		if len(g.Set) == 0 {
-			t.Fatal("greedy selected nothing")
-		}
-		if l.OracleCalls >= g.OracleCalls {
-			t.Errorf("workers=%d: celf spent %d oracle calls, want fewer than greedy's %d",
-				workers, l.OracleCalls, g.OracleCalls)
-		}
-		runs = append(runs, pair{greedy: g, celf: l})
+	greedy := Greedy(o, n)
+	if len(greedy.Set) == 0 {
+		t.Fatal("greedy selected nothing")
 	}
-	for i := 1; i < len(runs); i++ {
-		requireSameRun(t, "greedy across workers", runs[0].greedy, runs[i].greedy)
-		requireSameRun(t, "celf across workers", runs[0].celf, runs[i].celf)
+	lazy := LazyGreedy(o, n)
+	requireSameSelection(t, "celf vs greedy", greedy, lazy)
+	if lazy.OracleCalls >= greedy.OracleCalls {
+		t.Errorf("celf spent %d oracle calls, want fewer than greedy's %d",
+			lazy.OracleCalls, greedy.OracleCalls)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		g := Greedy(o, n, Parallel(workers))
+		requireSameRun(t, "greedy across workers", greedy, g)
+		pure := LazyGreedy(o, n, Parallel(workers), Speculative(-1))
+		requireSameRun(t, "purely lazy celf across workers", lazy, pure)
+		spec := LazyGreedy(o, n, Parallel(workers), Speculative(2))
+		requireSameSelection(t, "speculative celf vs greedy", greedy, spec)
+		if spec.OracleCalls < lazy.OracleCalls {
+			t.Errorf("workers=%d: speculative celf spent %d oracle calls, below the lazy run's %d",
+				workers, spec.OracleCalls, lazy.OracleCalls)
+		}
+	}
+}
+
+// requireSameSelection asserts got selects exactly want's set with a
+// bit-identical value (oracle-call counts may differ — the speculative
+// CELF contract).
+func requireSameSelection(t *testing.T, label string, want, got Result) {
+	t.Helper()
+	if !reflect.DeepEqual(want.Set, got.Set) {
+		t.Errorf("%s: set %v != %v", label, got.Set, want.Set)
+	}
+	if want.Value != got.Value {
+		t.Errorf("%s: value %v != %v (not bit-identical)", label, got.Value, want.Value)
+	}
+}
+
+// TestSpeculativeWasteBounded pins the speculation accounting: every
+// speculative recompute is either the probe that produced a round's
+// adopted argmax or is charged to the wasted counter, so
+// speculative − wasted ≤ adds (each adoption redeems at most one
+// recompute) and wasted never exceeds speculative.
+func TestSpeculativeWasteBounded(t *testing.T) {
+	obs.Enable()
+	specC := obs.Counter("selection.lazygreedy.speculative_recomputes")
+	wasteC := obs.Counter("selection.lazygreedy.speculative_wasted")
+	addsC := obs.Counter("selection.lazygreedy.adds")
+	spec0, waste0, adds0 := specC.Value(), wasteC.Value(), addsC.Value()
+
+	plain := randomWC(400, 23)
+	plain.maxSet = 16
+	o := &incrWC{wcOracle: *plain}
+	lazy := LazyGreedy(o, 400, Speculative(-1))
+	specRun := LazyGreedy(o, 400, Parallel(4), Speculative(4))
+	requireSameSelection(t, "speculative celf vs lazy", lazy, specRun)
+
+	spec := specC.Value() - spec0
+	waste := wasteC.Value() - waste0
+	adds := addsC.Value() - adds0
+	if spec == 0 {
+		t.Fatal("speculation never engaged (no speculative recomputes recorded)")
+	}
+	if waste > spec {
+		t.Errorf("wasted %d > speculative %d", waste, spec)
+	}
+	if spec-waste > adds {
+		t.Errorf("speculative − wasted = %d exceeds adds %d (more redeemed recomputes than adoptions)",
+			spec-waste, adds)
+	}
+	if specRun.OracleCalls < lazy.OracleCalls {
+		t.Errorf("speculative run spent %d calls, below lazy's %d", specRun.OracleCalls, lazy.OracleCalls)
 	}
 }
 

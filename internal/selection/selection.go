@@ -162,6 +162,7 @@ func Greedy(f Oracle, n int, opts ...Option) Result {
 	co, rt := traceRun(f, "greedy")
 	adds := obs.Counter("selection.greedy.adds")
 	ev := newEvaluator(opts)
+	defer ev.close()
 	var set []int
 	member := bitset.New(n)
 	cur := co.Value(set)
@@ -222,6 +223,7 @@ func MaxSub(f Oracle, n int, eps float64, opts ...Option) Result {
 		return rt.finish(nil, co.Value(nil))
 	}
 	ev := newEvaluator(opts)
+	defer ev.close()
 	denom := float64(n) * float64(n)
 
 	// Ln. 3: best feasible singleton.
@@ -362,6 +364,7 @@ func MatroidLocalSearch(f Oracle, ground []int, ms []matroid.Matroid, eps float6
 		return rt.finish(nil, co.Value(nil))
 	}
 	ev := newEvaluator(opts)
+	defer ev.close()
 	n := 0
 	for _, m := range ms {
 		if m.N() > n {
@@ -554,6 +557,7 @@ func GRASP(f Oracle, n int, kappa, r int, rng *stats.RNG, opts ...Option) Result
 	co, rt := traceRun(f, "grasp")
 	restarts := obs.Counter("selection.grasp.restarts")
 	ev := newEvaluator(opts)
+	defer ev.close()
 	best := Result{Value: math.Inf(-1)}
 	for it := 0; it < r; it++ {
 		restarts.Inc()

@@ -1,0 +1,114 @@
+package selection
+
+import (
+	"freshsource/internal/obs"
+)
+
+// shardHeap is the CELF priority queue sharded across a run's workers:
+// each worker owns one celfHeap shard, and the global maximum is found by
+// k-way top selection over the shard heads. Sharding exists for
+// construction — the initial singleton sweep writes entries straight into
+// per-worker shards and each shard heapifies concurrently, so there is no
+// serial O(n) global init and no vals/ok scratch arrays at 15k
+// candidates — while the merged view keeps every sequential operation the
+// main CELF loop needs.
+//
+// Determinism: celfBefore is a strict total order (idx breaks every tie),
+// so the pop sequence of the merged heap is a property of the entry
+// multiset alone — identical for any shard count and any entry placement.
+// Which shard a reinserted entry lands in can therefore never affect
+// Set/Value/pop order; entries simply return to the shard they were
+// popped from to keep sizes balanced.
+//
+// The head scan is O(shards) with shards ≤ workers (a handful); a
+// loser-tree over the heads would make it O(log shards) but the constant
+// is already a few compares against probe costs in the microseconds, so
+// plain selection wins on simplicity.
+type shardHeap struct {
+	shards []celfHeap
+	size   int
+}
+
+// buildShardHeap runs the initial singleton sweep sharded across the
+// evaluator's workers: shard s owns the contiguous candidate range
+// [s·n/w, (s+1)·n/w), evaluates it, appends its feasible entries and
+// heapifies — all shards concurrently when the run has a pool. value
+// reports candidate x's oracle value and whether x is feasible; cur is
+// the current solution value the gains are measured against.
+//
+// A canceled context leaves shards partially built; callers must check
+// ev.canceled() before using the heap (as after any sweep).
+func buildShardHeap(ev evaluator, n int, cur float64, value func(x int) (float64, bool)) *shardHeap {
+	w := ev.workers
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	sh := &shardHeap{shards: make([]celfHeap, w)}
+	build := func(s int) {
+		lo, hi := s*n/w, (s+1)*n/w
+		shard := make(celfHeap, 0, hi-lo)
+		for x := lo; x < hi; x++ {
+			if (x-lo)%cancelStride == 0 && ev.ctx != nil && ev.ctx.Err() != nil {
+				return
+			}
+			if v, ok := value(x); ok {
+				shard = append(shard, celfEntry{idx: int32(x), round: 0, gain: v - cur, val: v})
+			}
+		}
+		shard.init()
+		sh.shards[s] = shard
+	}
+	if ev.pool != nil && w > 1 {
+		if obs.Enabled() {
+			obs.Counter("selection.sweep.parallel_batches").Inc()
+			obs.Counter("selection.sweep.parallel_moves").Add(int64(n))
+		}
+		ev.pool.run(w, ev.ctx, build)
+	} else {
+		for s := 0; s < w; s++ {
+			build(s)
+		}
+	}
+	for _, shard := range sh.shards {
+		sh.size += len(shard)
+	}
+	return sh
+}
+
+// len returns the number of entries across all shards.
+func (sh *shardHeap) len() int { return sh.size }
+
+// top returns the shard holding the globally best entry under celfBefore
+// and a pointer to that entry. The pointer stays valid until the next
+// mutation; mutating the entry in place must be followed by fix. top must
+// not be called on an empty heap.
+func (sh *shardHeap) top() (int, *celfEntry) {
+	best := -1
+	for s := range sh.shards {
+		if len(sh.shards[s]) == 0 {
+			continue
+		}
+		if best < 0 || celfBefore(sh.shards[s][0], sh.shards[best][0]) {
+			best = s
+		}
+	}
+	return best, &sh.shards[best][0]
+}
+
+// fix restores shard s's heap order after its head was mutated in place.
+func (sh *shardHeap) fix(s int) { sh.shards[s].siftDown(0) }
+
+// pop removes and returns shard s's head.
+func (sh *shardHeap) pop(s int) celfEntry {
+	sh.size--
+	return sh.shards[s].pop()
+}
+
+// push inserts e into shard s.
+func (sh *shardHeap) push(s int, e celfEntry) {
+	sh.size++
+	sh.shards[s].push(e)
+}
