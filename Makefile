@@ -33,6 +33,8 @@ COMMIT  ?= $(shell git rev-parse --short HEAD 2>/dev/null || echo unknown)
 LDFLAGS  = -ldflags "-X freshsource/internal/version.Version=$(VERSION) -X freshsource/internal/version.Commit=$(COMMIT)"
 
 # The deterministic serving workload behind servebench / servebench-check.
+# The spawned freshd hosts 4 named tenant worlds (freshbench's default) and
+# the report carries per-tenant p95s alongside the per-endpoint quantiles.
 # observe weights the streaming-ingestion path: the spawned freshd runs 1s
 # epochs and the run drives incremental refits alongside the query load
 # (observe replaces reload — ingestion and snapshot hot reload are
@@ -100,6 +102,10 @@ lint:
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: files need formatting:"; echo "$$unformatted"; exit 1; \
+	fi
+	@tracked=$$(git ls-files | grep -E '\.test$$' || true); \
+	if [ -n "$$tracked" ]; then \
+		echo "lint: compiled test binaries must not be tracked:"; echo "$$tracked"; exit 1; \
 	fi
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -177,16 +183,20 @@ bench-multicore-check:
 bench-paper:
 	$(GO) test -bench=. -benchmem -benchtime=1x .
 
-# Serving benchmark: freshbench drives a spawned freshd with the
-# deterministic mixed workload and writes BENCH_serving.json (per-endpoint
-# p50/p95/p99, 429/504/error rates, allocs/request). Refresh the committed
-# baseline with this target after intended serving changes.
+# Serving benchmark: freshbench drives a spawned multi-tenant freshd with
+# the deterministic mixed workload and writes BENCH_serving.json
+# (per-endpoint p50/p95/p99, per-tenant p95s, 429/504/error rates,
+# allocs/request). Refresh the committed baseline with this target after
+# intended serving changes.
 servebench:
 	$(GO) run $(LDFLAGS) ./cmd/freshbench $(SERVEBENCH_ARGS) -out BENCH_serving.json
 
-# Short freshbench pass: CI's compile-and-serve smoke gate.
+# Short freshbench passes: CI's compile-and-serve smoke gate. The second
+# run benches through freshgate — two spawned backends behind the
+# consistent-hash routing tier.
 servebench-smoke:
-	$(GO) run $(LDFLAGS) ./cmd/freshbench -spawn -duration 2s -rps 40 > /dev/null
+	$(GO) run $(LDFLAGS) ./cmd/freshbench -spawn -duration 2s -rps 40 -tenants 2 > /dev/null
+	$(GO) run $(LDFLAGS) ./cmd/freshbench -spawn -gate -duration 2s -rps 40 -tenants 2 > /dev/null
 
 # Serving-regression gate: a fresh load run diffed against the committed
 # BENCH_serving.json via the same benchjson -compare used for the solver

@@ -12,11 +12,15 @@
 // comparable. Results go to stdout as Go benchmark lines (one synthetic
 // benchmark per endpoint/quantile, parseable by benchjson for the CI
 // regression gate) and, with -out, as a BENCH_serving.json report carrying
-// the full per-endpoint breakdown.
+// the full per-endpoint and per-tenant breakdown.
 //
-// -spawn starts an in-process freshd over a compact generated snapshot on
-// an ephemeral port — the self-contained smoke mode used by `make
-// servebench`; -target points at any already-running daemon instead.
+// -spawn starts an in-process freshd hosting -tenants named worlds (t0,
+// the default, through t{N-1}, each over its own compact generated
+// snapshot) on an ephemeral port — the self-contained smoke mode used by
+// `make servebench`; -target points at any already-running daemon instead,
+// and the bench drives whatever tenants its /healthz reports. -gate fronts
+// -gate.backends spawned daemons with an in-process freshgate pool and
+// benches through the routing tier.
 package main
 
 import (
@@ -29,7 +33,9 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -39,6 +45,7 @@ import (
 
 	"freshsource/internal/benchfmt"
 	"freshsource/internal/dataset"
+	"freshsource/internal/gate"
 	"freshsource/internal/obs"
 	"freshsource/internal/serve"
 	"freshsource/internal/snapio"
@@ -46,31 +53,35 @@ import (
 )
 
 type benchConfig struct {
-	Target      string
-	Spawn       bool
-	Kind        string
-	Scale       float64
-	RPS         float64
-	Concurrency int
-	Duration    time.Duration
-	Mix         string
-	Tenants     int
-	Seed        int64
-	Timeout     time.Duration
-	Out         string
+	Target       string
+	Spawn        bool
+	Gate         bool
+	GateBackends int
+	Kind         string
+	Scale        float64
+	RPS          float64
+	Concurrency  int
+	Duration     time.Duration
+	Mix          string
+	Tenants      int
+	Seed         int64
+	Timeout      time.Duration
+	Out          string
 }
 
 func main() {
 	var cfg benchConfig
 	flag.StringVar(&cfg.Target, "target", "", "base URL of a running freshd (e.g. http://localhost:8080)")
-	flag.BoolVar(&cfg.Spawn, "spawn", false, "spawn an in-process freshd over a compact generated snapshot instead of -target")
+	flag.BoolVar(&cfg.Spawn, "spawn", false, "spawn an in-process freshd over compact generated snapshots instead of -target")
+	flag.BoolVar(&cfg.Gate, "gate", false, "front the spawned backends with an in-process freshgate pool and bench through it (requires -spawn)")
+	flag.IntVar(&cfg.GateBackends, "gate.backends", 2, "spawned freshd backends behind -gate")
 	flag.StringVar(&cfg.Kind, "kind", "bl", "spawned dataset kind: bl or gdelt")
 	flag.Float64Var(&cfg.Scale, "scale", 0.4, "spawned dataset scale")
 	flag.Float64Var(&cfg.RPS, "rps", 50, "request rate to offer")
 	flag.IntVar(&cfg.Concurrency, "concurrency", 8, "client workers issuing requests")
 	flag.DurationVar(&cfg.Duration, "duration", 5*time.Second, "load duration")
 	flag.StringVar(&cfg.Mix, "mix", "select=6,quality=3,reload=1", "endpoint weights")
-	flag.IntVar(&cfg.Tenants, "tenants", 4, "distinct tenant workload shapes")
+	flag.IntVar(&cfg.Tenants, "tenants", 4, "named tenant worlds the spawned server hosts (a -target daemon serves whatever its /healthz reports)")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "workload seed")
 	flag.DurationVar(&cfg.Timeout, "timeout", 10*time.Second, "per-request client timeout")
 	flag.StringVar(&cfg.Out, "out", "", "write the full BENCH_serving.json report here")
@@ -113,19 +124,24 @@ func parseMix(s string) (map[string]int, error) {
 // request is one generated unit of work.
 type request struct {
 	endpoint string // select|quality|reload|freshness
+	tenant   string // tenant name the request addresses ("" = anonymous)
 	method   string
 	path     string
 	body     string
 }
 
 // workload deterministically generates the request stream: a seeded RNG
-// draws an endpoint from the mix and a tenant-specific shape for it. Every
-// tenant favors its own algorithm/future/set, so the server's warm caches
-// see a realistic multi-tenant hit pattern rather than one hot key.
+// draws an endpoint from the mix and a tenant for it — real named worlds
+// now, addressed with ?tenant= on every request. Every tenant favors its
+// own algorithm/future/set, so the server's warm caches see a realistic
+// multi-tenant hit pattern rather than one hot key. Against a pre-tenant
+// daemon (no tenants block in /healthz) names is [""] and the parameter is
+// omitted.
 type workload struct {
 	rng        *rand.Rand
 	choices    []string // endpoint per weight unit
-	tenants    int
+	names      []string // tenant names, sorted; "" means anonymous
+	defName    string   // the target's default tenant ("" when anonymous)
 	numSources int
 
 	// Observe stream state: ticks are strictly monotone, so a submitted
@@ -137,20 +153,21 @@ type workload struct {
 	obsMaxTick  int64
 }
 
-func newWorkload(seed int64, weights map[string]int, tenants, numSources int, t0, horizon int64, numEntities int) *workload {
+func newWorkload(seed int64, weights map[string]int, names []string, defName string, numSources int, t0, horizon int64, numEntities int) *workload {
 	var choices []string
 	for _, ep := range []string{"select", "quality", "reload", "observe", "freshness"} {
 		for i := 0; i < weights[ep]; i++ {
 			choices = append(choices, ep)
 		}
 	}
-	if tenants < 1 {
-		tenants = 1
+	if len(names) == 0 {
+		names = []string{""}
 	}
 	return &workload{
 		rng:         rand.New(rand.NewSource(seed)),
 		choices:     choices,
-		tenants:     tenants,
+		names:       names,
+		defName:     defName,
 		numSources:  numSources,
 		numEntities: numEntities,
 		obsTick:     t0 + 1,
@@ -158,11 +175,23 @@ func newWorkload(seed int64, weights map[string]int, tenants, numSources int, t0
 	}
 }
 
+// tenantParam renders the ?tenant= query suffix for a named tenant; the
+// anonymous world gets no parameter.
+func tenantParam(name string) string {
+	if name == "" {
+		return ""
+	}
+	return "?tenant=" + url.QueryEscape(name)
+}
+
 // observe emits one batch at the next monotone tick; past the refit window
 // it degrades into a freshness probe (the stream has outrun the horizon).
+// The stream stays on the default tenant: its shapes are sized from the
+// default world's entity count, and one monotone stream per run keeps the
+// committed watermark meaningful.
 func (w *workload) observe() request {
 	if w.obsTick > w.obsMaxTick || w.numEntities == 0 {
-		return request{endpoint: "freshness", method: http.MethodGet, path: "/v1/freshness"}
+		return request{endpoint: "freshness", tenant: w.defName, method: http.MethodGet, path: "/v1/freshness"}
 	}
 	n := 1 + w.rng.Intn(3)
 	evs := make([]string, n)
@@ -177,38 +206,40 @@ func (w *workload) observe() request {
 	}
 	w.obsTick++
 	body := fmt.Sprintf(`{"observations":[%s]}`, strings.Join(evs, ","))
-	return request{endpoint: "observe", method: http.MethodPost, path: "/v1/observe", body: body}
+	return request{endpoint: "observe", tenant: w.defName, method: http.MethodPost, path: "/v1/observe", body: body}
 }
 
 func (w *workload) next() request {
 	ep := w.choices[w.rng.Intn(len(w.choices))]
-	tenant := w.rng.Intn(w.tenants)
+	idx := w.rng.Intn(len(w.names))
+	name := w.names[idx]
 	switch ep {
 	case "observe":
 		return w.observe()
 	case "select":
 		algos := []string{"maxsub", "greedy", "lazygreedy"}
 		body := fmt.Sprintf(`{"algorithm":%q,"future":%d}`,
-			algos[tenant%len(algos)], 5+tenant%6)
-		return request{endpoint: ep, method: http.MethodPost, path: "/v1/select", body: body}
+			algos[idx%len(algos)], 5+idx%6)
+		return request{endpoint: ep, tenant: name, method: http.MethodPost, path: "/v1/select" + tenantParam(name), body: body}
 	case "quality":
 		n := 1 + w.rng.Intn(3)
 		set := make([]string, n)
 		for i := range set {
-			set[i] = strconv.Itoa((tenant + i) % w.numSources)
+			set[i] = strconv.Itoa((idx + i) % w.numSources)
 		}
-		body := fmt.Sprintf(`{"set":[%s],"future":%d}`, strings.Join(set, ","), 4+tenant%4)
-		return request{endpoint: ep, method: http.MethodPost, path: "/v1/quality", body: body}
+		body := fmt.Sprintf(`{"set":[%s],"future":%d}`, strings.Join(set, ","), 4+idx%4)
+		return request{endpoint: ep, tenant: name, method: http.MethodPost, path: "/v1/quality" + tenantParam(name), body: body}
 	case "freshness":
-		return request{endpoint: ep, method: http.MethodGet, path: "/v1/freshness"}
+		return request{endpoint: ep, tenant: name, method: http.MethodGet, path: "/v1/freshness" + tenantParam(name)}
 	default:
-		return request{endpoint: ep, method: http.MethodPost, path: "/v1/reload", body: "{}"}
+		return request{endpoint: ep, tenant: name, method: http.MethodPost, path: "/v1/reload" + tenantParam(name), body: "{}"}
 	}
 }
 
 // outcome is one completed request, classified.
 type outcome struct {
 	endpoint string
+	tenant   string
 	dur      time.Duration
 	code     int
 	failed   bool // transport error, not an HTTP status
@@ -227,6 +258,9 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 
 	target := cfg.Target
 	var shutdown func()
+	if cfg.Gate && !cfg.Spawn {
+		return nil, fmt.Errorf("-gate requires -spawn (it fronts spawned backends)")
+	}
 	if cfg.Spawn {
 		if target != "" {
 			return nil, fmt.Errorf("-spawn and -target are mutually exclusive")
@@ -234,7 +268,11 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 		if weights["observe"] > 0 && weights["reload"] > 0 {
 			return nil, fmt.Errorf("observe and reload cannot both be weighted in spawn mode (streaming ingestion and snapshot hot reload are mutually exclusive)")
 		}
-		target, shutdown, err = spawnServer(cfg, weights["observe"] > 0, stderr)
+		spawn := spawnServer
+		if cfg.Gate {
+			spawn = spawnGate
+		}
+		target, shutdown, err = spawn(cfg, weights["observe"] > 0, stderr)
 		if err != nil {
 			return nil, err
 		}
@@ -246,11 +284,13 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 	target = strings.TrimRight(target, "/")
 	client := &http.Client{Timeout: cfg.Timeout}
 
-	// Run header: which build and snapshot is on the other side.
+	// Run header: which build and snapshot is on the other side, and which
+	// named worlds it hosts (the workload addresses them with ?tenant=).
 	health, err := getJSON(client, target+"/healthz")
 	if err != nil {
 		return nil, fmt.Errorf("target %s not healthy: %w", target, err)
 	}
+	names, defName := tenantNames(health)
 	var sources struct {
 		T0          int64      `json:"t0"`
 		Horizon     int64      `json:"horizon"`
@@ -270,8 +310,8 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 	}
 	fmt.Fprintf(stderr, "freshbench: target %s version=%v dataset=%v generation=%v ingest=%v sources=%d\n",
 		target, health["version"], health["dataset"], health["generation"], health["ingest"] != nil, numSources)
-	fmt.Fprintf(stderr, "freshbench: offering %.0f rps for %s (mix %s, %d tenants, seed %d)\n",
-		cfg.RPS, cfg.Duration, cfg.Mix, cfg.Tenants, cfg.Seed)
+	fmt.Fprintf(stderr, "freshbench: offering %.0f rps for %s (mix %s, tenants [%s], seed %d)\n",
+		cfg.RPS, cfg.Duration, cfg.Mix, strings.Join(names, " "), cfg.Seed)
 
 	before, err := scrape(client, target)
 	if err != nil {
@@ -279,7 +319,7 @@ func run(cfg benchConfig, stdout, stderr io.Writer) (*benchfmt.Report, error) {
 	}
 
 	outcomes := offer(cfg, client, target,
-		newWorkload(cfg.Seed, weights, cfg.Tenants, numSources, sources.T0, sources.Horizon, sources.NumEntities))
+		newWorkload(cfg.Seed, weights, names, defName, numSources, sources.T0, sources.Horizon, sources.NumEntities))
 
 	after, err := scrape(client, target)
 	if err != nil {
@@ -363,7 +403,7 @@ func issue(client *http.Client, target string, rq request) outcome {
 	}
 	req, err := http.NewRequest(rq.method, target+rq.path, body)
 	if err != nil {
-		return outcome{endpoint: rq.endpoint, failed: true}
+		return outcome{endpoint: rq.endpoint, tenant: rq.tenant, failed: true}
 	}
 	if rq.body != "" {
 		req.Header.Set("Content-Type", "application/json")
@@ -372,11 +412,43 @@ func issue(client *http.Client, target string, rq request) outcome {
 	resp, err := client.Do(req)
 	dur := time.Since(start)
 	if err != nil {
-		return outcome{endpoint: rq.endpoint, dur: dur, failed: true}
+		return outcome{endpoint: rq.endpoint, tenant: rq.tenant, dur: dur, failed: true}
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return outcome{endpoint: rq.endpoint, dur: dur, code: resp.StatusCode}
+	return outcome{endpoint: rq.endpoint, tenant: rq.tenant, dur: dur, code: resp.StatusCode}
+}
+
+// tenantNames discovers the named worlds behind the target from its
+// /healthz body: a multi-tenant freshd lists them in a "tenants" block, a
+// freshgate reports each backend's probed tenant set under "backends". A
+// pre-tenant daemon reports neither — one anonymous world, addressed
+// without a tenant parameter.
+func tenantNames(health map[string]any) (names []string, def string) {
+	block, _ := health["tenants"].(map[string]any)
+	if block != nil {
+		def, _ = health["default_tenant"].(string)
+	} else if backends, ok := health["backends"].(map[string]any); ok {
+		for _, v := range backends {
+			entry, ok := v.(map[string]any)
+			if !ok {
+				continue
+			}
+			if tn, ok := entry["tenants"].(map[string]any); ok {
+				block = tn
+				def, _ = entry["default_tenant"].(string)
+				break
+			}
+		}
+	}
+	if len(block) == 0 {
+		return []string{""}, ""
+	}
+	for n := range block {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, def
 }
 
 // scrape fetches the target's structured obs snapshot (/metrics?format=json).
@@ -395,8 +467,12 @@ func scrape(client *http.Client, target string) (obs.Snapshot, error) {
 func reduce(cfg benchConfig, target string, health, healthEnd map[string]any,
 	outcomes []outcome, before, after obs.Snapshot) *benchfmt.Report {
 	byEp := map[string][]outcome{}
+	byTenant := map[string][]outcome{}
 	for _, o := range outcomes {
 		byEp[o.endpoint] = append(byEp[o.endpoint], o)
+		if o.tenant != "" {
+			byTenant[o.tenant] = append(byTenant[o.tenant], o)
+		}
 	}
 
 	serving := &benchfmt.ServingSummary{
@@ -423,6 +499,10 @@ func reduce(cfg benchConfig, target string, health, healthEnd map[string]any,
 	if ing, ok := healthEnd["ingest"].(map[string]any); ok {
 		serving.Target["ingest_epoch"] = fmt.Sprint(ing["epoch"])
 		serving.Target["ingest_watermark"] = fmt.Sprint(ing["watermark"])
+	}
+	if cfg.Gate {
+		serving.Target["mode"] = "gate"
+		serving.Workload["gate_backends"] = strconv.Itoa(cfg.GateBackends)
 	}
 
 	rep := &benchfmt.Report{
@@ -485,6 +565,35 @@ func reduce(cfg benchConfig, target string, health, healthEnd map[string]any,
 		}
 	}
 
+	// Per-tenant slices of the same outcomes: the multi-tenant signature of
+	// the run. A slow world shows up here even when the per-endpoint
+	// aggregates (which mix all tenants) look healthy.
+	var tnames []string
+	for tn := range byTenant {
+		tnames = append(tnames, tn)
+	}
+	sort.Strings(tnames)
+	for _, tn := range tnames {
+		group := byTenant[tn]
+		durs := make([]time.Duration, 0, len(group))
+		errs := 0
+		for _, o := range group {
+			durs = append(durs, o.dur)
+			if o.failed || o.code >= 400 && o.code != http.StatusTooManyRequests && o.code != http.StatusGatewayTimeout {
+				errs++
+			}
+		}
+		sort.Slice(durs, func(i, j int) bool { return durs[i] < durs[j] })
+		serving.Tenants = append(serving.Tenants, benchfmt.TenantStats{
+			Tenant:    tn,
+			Requests:  int64(len(group)),
+			P50Ms:     ms(percentile(durs, 0.50)),
+			P95Ms:     ms(percentile(durs, 0.95)),
+			P99Ms:     ms(percentile(durs, 0.99)),
+			ErrorRate: float64(errs) / float64(len(group)),
+		})
+	}
+
 	// Allocation pressure: the server refreshes proc.mallocs on every
 	// scrape, so the delta across the run divided by the requests served
 	// approximates allocations per request (includes the server's
@@ -505,59 +614,85 @@ func writeBenchLines(w io.Writer, rep *benchfmt.Report) {
 		fmt.Fprintf(w, "Benchmark%s \t %d \t %.0f ns/op\n", b.Name, b.Iterations, b.NsPerOp)
 	}
 	if rep.Serving != nil {
+		for _, tn := range rep.Serving.Tenants {
+			fmt.Fprintf(w, "# tenant %s n=%d p95=%.1fms err=%.3f\n",
+				tn.Tenant, tn.Requests, tn.P95Ms, tn.ErrorRate)
+		}
 		fmt.Fprintf(w, "# total=%d allocs/req=%.1f\n",
 			rep.Serving.TotalRequests, rep.Serving.AllocsPerRequest)
 	}
 }
 
-// spawnServer starts an in-process freshd over a compact generated
-// snapshot (written to a temp dir so /v1/reload works) on an ephemeral
-// port. With observe weighted in the mix the spawned server runs in
-// streaming-ingestion mode instead — 1s epochs, no snapshot reload (the
-// two are mutually exclusive). The returned shutdown drains it.
-func spawnServer(cfg benchConfig, observe bool, stderr io.Writer) (string, func(), error) {
+// benchDataset generates one compact world for a spawned tenant; distinct
+// seeds give distinct worlds with the same shape.
+func benchDataset(cfg benchConfig, seed int64) (*dataset.Dataset, error) {
+	if cfg.Kind != "bl" {
+		return serve.LoadDataset("", cfg.Kind, cfg.Scale, seed)
+	}
 	gen := dataset.DefaultBLConfig()
 	gen.Locations, gen.Categories, gen.NumSources = 8, 5, 10
 	gen.Horizon, gen.T0 = 220, 120
 	gen.Scale = cfg.Scale
-	gen.Seed = cfg.Seed
-	var (
-		d   *dataset.Dataset
-		err error
-	)
-	switch cfg.Kind {
-	case "bl":
-		d, err = dataset.GenerateBL(gen)
-	default:
-		d, err = serve.LoadDataset("", cfg.Kind, cfg.Scale, cfg.Seed)
-	}
-	if err != nil {
-		return "", nil, err
-	}
+	gen.Seed = seed
+	return dataset.GenerateBL(gen)
+}
 
+// spawnServer starts an in-process multi-tenant freshd on an ephemeral
+// port: tenant t0 (the default) through t{N-1}, each over its own compact
+// generated snapshot seeded off -seed so the worlds differ. Without observe
+// in the mix every tenant's snapshot is written to a temp dir so
+// /v1/reload works per tenant; with observe the server runs in
+// streaming-ingestion mode instead — 1s epochs, no snapshot reload (the
+// two are mutually exclusive). The returned shutdown drains it.
+func spawnServer(cfg benchConfig, observe bool, stderr io.Writer) (string, func(), error) {
+	n := cfg.Tenants
+	if n < 1 {
+		n = 1
+	}
 	dir, err := os.MkdirTemp("", "freshbench-snap-")
 	if err != nil {
 		return "", nil, err
 	}
-	scfg := serve.Config{}
+	fail := func(err error) (string, func(), error) {
+		os.RemoveAll(dir)
+		return "", nil, err
+	}
+
+	var def *dataset.Dataset
+	var specs []serve.TenantSpec
+	for i := 0; i < n; i++ {
+		d, err := benchDataset(cfg, cfg.Seed+int64(i)*101)
+		if err != nil {
+			return fail(err)
+		}
+		name := fmt.Sprintf("t%d", i)
+		snap := ""
+		if !observe {
+			snap = filepath.Join(dir, name)
+			if err := snapio.Write(snap, d); err != nil {
+				return fail(err)
+			}
+		}
+		if i == 0 {
+			def = d
+		} else {
+			specs = append(specs, serve.TenantSpec{Name: name, Dataset: d, SnapshotDir: snap})
+		}
+	}
+	scfg := serve.Config{DefaultTenant: "t0", Tenants: specs}
 	if observe {
 		scfg.IngestEpoch = time.Second
 	} else {
-		if err := snapio.Write(dir, d); err != nil {
-			os.RemoveAll(dir)
-			return "", nil, err
-		}
-		scfg.SnapshotDir = dir
+		scfg.SnapshotDir = filepath.Join(dir, "t0")
 	}
-	srv, err := serve.New(d, scfg)
+	srv, err := serve.New(def, scfg)
 	if err != nil {
-		os.RemoveAll(dir)
-		return "", nil, err
+		return fail(err)
 	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		os.RemoveAll(dir)
-		return "", nil, err
+		srv.Close()
+		return fail(err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan struct{})
@@ -565,14 +700,82 @@ func spawnServer(cfg benchConfig, observe bool, stderr io.Writer) (string, func(
 		defer close(done)
 		srv.Serve(ctx, ln)
 	}()
-	fmt.Fprintf(stderr, "freshbench: spawned freshd (%s %s, build %s) on %s\n",
-		cfg.Kind, d.Name, version.String(), ln.Addr())
+	fmt.Fprintf(stderr, "freshbench: spawned freshd (%s %s, %d tenants, build %s) on %s\n",
+		cfg.Kind, def.Name, n, version.String(), ln.Addr())
 	shutdown := func() {
 		cancel()
 		<-done
 		os.RemoveAll(dir)
 	}
 	return "http://" + ln.Addr().String(), shutdown, nil
+}
+
+// spawnGate spawns cfg.GateBackends identical multi-tenant freshd backends
+// (same seeds, so every backend hosts the same worlds — a replicated shard
+// universe) and fronts them with an in-process freshgate pool on its own
+// ephemeral port. The bench then drives the gate: requests hash by tenant
+// across the pool, so each tenant's traffic pins to its home backend and
+// the report measures the routing tier end to end.
+func spawnGate(cfg benchConfig, observe bool, stderr io.Writer) (string, func(), error) {
+	n := cfg.GateBackends
+	if n < 2 {
+		n = 2
+	}
+	var cleanups []func()
+	fail := func(err error) (string, func(), error) {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+		return "", nil, err
+	}
+	backends := make([]*gate.Backend, n)
+	for i := 0; i < n; i++ {
+		base, sd, err := spawnServer(cfg, observe, stderr)
+		if err != nil {
+			return fail(err)
+		}
+		cleanups = append(cleanups, sd)
+		if backends[i], err = gate.NewBackend(base); err != nil {
+			return fail(err)
+		}
+	}
+	pool, err := gate.NewPool(backends, gate.Config{DefaultTenant: "t0"})
+	if err != nil {
+		return fail(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fail(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go pool.Start(ctx)
+	gsrv := &http.Server{Handler: pool.Handler()}
+	go gsrv.Serve(ln)
+	cleanups = append(cleanups, func() {
+		gsrv.Close()
+		cancel()
+	})
+	target := "http://" + ln.Addr().String()
+	fmt.Fprintf(stderr, "freshbench: freshgate over %d backends on %s\n", n, ln.Addr())
+
+	// Wait for the first probe sweep: the bench discovers tenant names from
+	// the gate's /healthz, which carries them only after each backend has
+	// been probed successfully.
+	client := &http.Client{Timeout: time.Second}
+	for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+		if h, err := getJSON(client, target+"/healthz"); err == nil {
+			if names, _ := tenantNames(h); names[0] != "" {
+				break
+			}
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	shutdown := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	return target, shutdown, nil
 }
 
 // percentile is the nearest-rank quantile of a sorted duration slice.

@@ -29,8 +29,10 @@ func TestParseMix(t *testing.T) {
 
 func TestWorkloadDeterministic(t *testing.T) {
 	weights := map[string]int{"select": 6, "quality": 3, "reload": 1, "observe": 2}
-	a := newWorkload(42, weights, 4, 10, 120, 220, 500)
-	b := newWorkload(42, weights, 4, 10, 120, 220, 500)
+	names := []string{"t0", "t1", "t2", "t3"}
+	a := newWorkload(42, weights, names, "t0", 10, 120, 220, 500)
+	b := newWorkload(42, weights, names, "t0", 10, 120, 220, 500)
+	tenants := map[string]bool{}
 	seen := map[string]bool{}
 	for i := 0; i < 200; i++ {
 		ra, rb := a.next(), b.next()
@@ -38,10 +40,31 @@ func TestWorkloadDeterministic(t *testing.T) {
 			t.Fatalf("draw %d diverged: %+v vs %+v", i, ra, rb)
 		}
 		seen[ra.endpoint] = true
+		tenants[ra.tenant] = true
+		if ra.endpoint != "observe" && !strings.Contains(ra.path, "?tenant="+ra.tenant) {
+			t.Fatalf("draw %d: path %q does not address tenant %q", i, ra.path, ra.tenant)
+		}
 	}
 	for _, ep := range []string{"select", "quality", "reload", "observe"} {
 		if !seen[ep] {
 			t.Errorf("200 draws never hit %s", ep)
+		}
+	}
+	for _, tn := range names {
+		if !tenants[tn] {
+			t.Errorf("200 draws never addressed tenant %s", tn)
+		}
+	}
+}
+
+// TestWorkloadAnonymous: against a pre-tenant daemon (no names) requests
+// carry no tenant parameter and no tenant label.
+func TestWorkloadAnonymous(t *testing.T) {
+	w := newWorkload(1, map[string]int{"select": 1, "freshness": 1}, nil, "", 10, 120, 220, 0)
+	for i := 0; i < 50; i++ {
+		rq := w.next()
+		if rq.tenant != "" || strings.Contains(rq.path, "tenant=") {
+			t.Fatalf("draw %d: anonymous workload produced %+v", i, rq)
 		}
 	}
 }
@@ -51,7 +74,7 @@ func TestWorkloadDeterministic(t *testing.T) {
 // the stream degrades to freshness probes past the refit window instead of
 // emitting doomed requests.
 func TestWorkloadObserveMonotone(t *testing.T) {
-	w := newWorkload(7, map[string]int{"observe": 1}, 2, 4, 120, 130, 50)
+	w := newWorkload(7, map[string]int{"observe": 1}, []string{"t0", "t1"}, "t0", 4, 120, 130, 50)
 	last := int64(120)
 	for i := 0; i < 8; i++ {
 		rq := w.next()
@@ -141,6 +164,17 @@ func TestRunSpawned(t *testing.T) {
 	if !strings.Contains(stderr.String(), "version=dev") {
 		t.Errorf("run header missing build identity: %s", stderr.String())
 	}
+	if len(rep.Serving.Tenants) != 3 {
+		t.Fatalf("tenant stats: %+v, want 3 tenants", rep.Serving.Tenants)
+	}
+	for i, tn := range rep.Serving.Tenants {
+		if want := []string{"t0", "t1", "t2"}[i]; tn.Tenant != want {
+			t.Errorf("tenant[%d] = %q, want %q", i, tn.Tenant, want)
+		}
+		if tn.Requests == 0 || tn.ErrorRate > 0 {
+			t.Errorf("tenant stats: %+v", tn)
+		}
+	}
 
 	// The printed lines must round-trip through the benchjson parser and
 	// self-compare clean against the written report.
@@ -205,5 +239,53 @@ func TestRunSpawnedObserve(t *testing.T) {
 	cfg.Mix = "observe=1,reload=1"
 	if _, err := run(cfg, &stdout, &stderr); err == nil {
 		t.Error("want error for observe+reload spawn mix")
+	}
+}
+
+// TestRunGate benches through the routing tier: two spawned multi-tenant
+// backends behind an in-process freshgate pool, tenant traffic hashed
+// across them.
+func TestRunGate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns two servers and a gate, fits models")
+	}
+	cfg := benchConfig{
+		Spawn:        true,
+		Gate:         true,
+		GateBackends: 2,
+		Kind:         "bl",
+		Scale:        0.4,
+		RPS:          50,
+		Concurrency:  4,
+		Duration:     1200 * time.Millisecond,
+		Mix:          "select=5,quality=3,freshness=2",
+		Tenants:      2,
+		Seed:         7,
+		Timeout:      10 * time.Second,
+	}
+	var stdout, stderr bytes.Buffer
+	rep, err := run(cfg, &stdout, &stderr)
+	if err != nil {
+		t.Fatalf("run: %v\nstderr: %s", err, stderr.String())
+	}
+	if rep.Serving.Target["mode"] != "gate" {
+		t.Errorf("target: %v", rep.Serving.Target)
+	}
+	if len(rep.Serving.Tenants) != 2 {
+		t.Fatalf("tenant stats through the gate: %+v", rep.Serving.Tenants)
+	}
+	for _, tn := range rep.Serving.Tenants {
+		if tn.Requests == 0 || tn.ErrorRate > 0 {
+			t.Errorf("tenant stats: %+v", tn)
+		}
+	}
+
+	// -gate without -spawn is refused.
+	bad := cfg
+	bad.Spawn = false
+	bad.Gate = true
+	bad.Target = "http://127.0.0.1:1"
+	if _, err := run(bad, &stdout, &stderr); err == nil {
+		t.Error("want error for -gate without -spawn")
 	}
 }

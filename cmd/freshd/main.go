@@ -8,6 +8,14 @@
 //	freshd -kind bl -scale 0.5 -addr :8080
 //	freshd -load snapshots/bl-small -timeout 10s -max-inflight 8
 //	freshd -load snapshots/bl-small -obs.dump /var/run/freshd.obs.json -obs.interval 30s
+//	freshd -load snapshots/main -tenant eu=snapshots/eu -tenant us=snapshots/us
+//	freshd -kind bl -tenants.manifest tenants.json -coalesce.window 2ms
+//
+// One daemon can host many named worlds (tenants): the dataset from
+// -load/-kind is the default tenant, and each -tenant name=snapshot-dir
+// (or manifest entry) adds an isolated world with its own generation
+// lineage, model-cache scope and coalescers. Requests address tenants with
+// ?tenant=name on every endpoint.
 //
 // Endpoints: POST /v1/select, POST /v1/quality, GET /v1/sources,
 // POST /v1/reload, POST /v1/observe (with -ingest.epoch),
@@ -29,6 +37,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -37,7 +46,28 @@ import (
 	"freshsource/internal/version"
 )
 
+// tenantFlags collects repeatable -tenant name=snapshot-dir declarations.
+type tenantFlags []serve.TenantSpec
+
+func (f *tenantFlags) String() string {
+	names := make([]string, len(*f))
+	for i, sp := range *f {
+		names[i] = sp.Name + "=" + sp.SnapshotDir
+	}
+	return strings.Join(names, ",")
+}
+
+func (f *tenantFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=snapshot-dir, got %q", v)
+	}
+	*f = append(*f, serve.TenantSpec{Name: name, SnapshotDir: dir})
+	return nil
+}
+
 func main() {
+	var tenants tenantFlags
 	var (
 		addr        = flag.String("addr", ":8080", "listen address")
 		load        = flag.String("load", "", "load a persisted dataset directory instead of generating")
@@ -58,8 +88,12 @@ func main() {
 		ingestLag   = flag.Int("ingest.maxlag", 0, "max buffered observations before /v1/observe sheds load with 429 (0 = 65536)")
 		freshWarn   = flag.Float64("freshness.warn", 1.5, "GET /v1/freshness warning threshold, as a multiple of each source's fitted update interval")
 		freshStale  = flag.Float64("freshness.stale", 3.0, "GET /v1/freshness stale threshold, as a multiple of each source's fitted update interval")
+		defTenant   = flag.String("default-tenant", "default", "name of the default tenant (the -load/-kind dataset)")
+		manifest    = flag.String("tenants.manifest", "", "JSON tenants manifest adding named worlds (see serve.LoadTenantManifest)")
+		coalesce    = flag.Duration("coalesce.window", 0, "batch window coalescing concurrent identical select/quality requests into one solver pass (0 = 2ms default, negative = in-flight dedupe only)")
 		showVersion = flag.Bool("version", false, "print the build version and exit")
 	)
+	flag.Var(&tenants, "tenant", "add a named world: name=snapshot-dir (repeatable)")
 	var of obs.Flags
 	of.Register(flag.CommandLine)
 	flag.Parse()
@@ -83,6 +117,15 @@ func main() {
 	fmt.Fprintf(os.Stderr, "freshd %s: dataset %s: %d sources, %d entities, t0=%d\n",
 		version.String(), d.Name, len(d.Sources), d.World.NumEntities(), d.T0)
 
+	specs := []serve.TenantSpec(tenants)
+	if *manifest != "" {
+		fromFile, err := serve.LoadTenantManifest(*manifest)
+		if err != nil {
+			fatal(err)
+		}
+		specs = append(specs, fromFile...)
+	}
+
 	srv, err := serve.New(d, serve.Config{
 		Addr:                 *addr,
 		MaxInflight:          *inflight,
@@ -100,30 +143,40 @@ func main() {
 		IngestMaxLag:         *ingestLag,
 		FreshnessWarnFactor:  *freshWarn,
 		FreshnessStaleFactor: *freshStale,
+		DefaultTenant:        *defTenant,
+		Tenants:              specs,
+		CoalesceWindow:       *coalesce,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	if names := srv.TenantNames(); len(names) > 1 {
+		fmt.Fprintf(os.Stderr, "freshd: hosting %d tenants: %s\n", len(names), strings.Join(names, ", "))
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// SIGHUP hot-reloads the snapshot (when -load points at one). The
-	// loop serializes naturally: Reload holds the server's reload lock.
+	// SIGHUP hot-reloads every reloadable tenant's snapshot. The loop
+	// serializes naturally per tenant: each reload holds its tenant's
+	// reload lock, and a tenant with no snapshot directory is skipped.
 	hup := make(chan os.Signal, 1)
 	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
 		for range hup {
-			info, err := srv.Reload(ctx)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "freshd: reload failed, last-good generation kept: %v\n", err)
-				continue
-			}
-			if info.Swapped {
-				fmt.Fprintf(os.Stderr, "freshd: reloaded %s, now serving generation %d (digest %.12s)\n",
-					info.Dataset, info.Generation, info.Digest)
-			} else {
-				fmt.Fprintf(os.Stderr, "freshd: snapshot unchanged, generation %d kept\n", info.Generation)
+			for _, name := range srv.TenantNames() {
+				info, err := srv.ReloadTenant(ctx, name)
+				switch {
+				case err == serve.ErrNotReloadable:
+					continue
+				case err != nil:
+					fmt.Fprintf(os.Stderr, "freshd: tenant %s: reload failed, last-good generation kept: %v\n", name, err)
+				case info.Swapped:
+					fmt.Fprintf(os.Stderr, "freshd: tenant %s: reloaded %s, now serving generation %d (digest %.12s)\n",
+						name, info.Dataset, info.Generation, info.Digest)
+				default:
+					fmt.Fprintf(os.Stderr, "freshd: tenant %s: snapshot unchanged, generation %d kept\n", name, info.Generation)
+				}
 			}
 		}
 	}()

@@ -1,0 +1,124 @@
+// Command freshgate is the routing tier in front of a pool of freshd
+// backends: it maps every tenant onto its home backend with rendezvous
+// hashing, health-checks the pool, and fails requests over to the next
+// hash candidate when a backend drops.
+//
+// Usage:
+//
+//	freshgate -addr :8090 -backend http://10.0.0.7:8080 -backend http://10.0.0.8:8080
+//	freshgate -backend http://a:8080,http://b:8080 -probe.interval 500ms
+//
+// Endpoints: every /v1/* route is proxied to the tenant's backend
+// (?tenant= selects the tenant; absent means the default tenant);
+// GET /healthz reports the gate's pool view; GET /metrics exposes gate.*.
+//
+// Routing is stateless: any number of freshgate instances over the same
+// -backend list compute the same tenant→backend map, so gates scale out
+// with no coordination.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"freshsource/internal/gate"
+	"freshsource/internal/obs"
+	"freshsource/internal/version"
+)
+
+// listFlag is a repeatable, comma-splittable string flag
+// (-backend a -backend b,c).
+type listFlag []string
+
+func (f *listFlag) String() string { return strings.Join(*f, ",") }
+
+func (f *listFlag) Set(v string) error {
+	for _, s := range strings.Split(v, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			*f = append(*f, s)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var backends listFlag
+	var (
+		addr        = flag.String("addr", ":8090", "listen address")
+		defTenant   = flag.String("default-tenant", "default", "tenant routed when a request has no ?tenant= parameter")
+		probeEvery  = flag.Duration("probe.interval", time.Second, "backend health-check cadence")
+		probeTO     = flag.Duration("probe.timeout", 2*time.Second, "bound on one health probe")
+		timeout     = flag.Duration("timeout", 60*time.Second, "bound on one proxied request including failover retries")
+		maxBody     = flag.Int64("max-body", 1<<20, "request body cap in bytes (bodies are buffered for failover replay)")
+		showVersion = flag.Bool("version", false, "print the build version and exit")
+	)
+	flag.Var(&backends, "backend", "freshd backend base URL (repeatable, comma-splittable)")
+	var of obs.Flags
+	of.Register(flag.CommandLine)
+	flag.Parse()
+
+	if *showVersion {
+		fmt.Println("freshgate", version.String())
+		return
+	}
+	if len(backends) == 0 {
+		fatal(fmt.Errorf("at least one -backend is required"))
+	}
+
+	if bound, err := of.Activate(); err != nil {
+		fatal(err)
+	} else if bound != "" {
+		fmt.Fprintf(os.Stderr, "freshgate: pprof/expvar on http://%s/debug/pprof/\n", bound)
+	}
+	defer of.Finish(os.Stderr)
+
+	pool := make([]*gate.Backend, 0, len(backends))
+	for _, raw := range backends {
+		b, err := gate.NewBackend(raw)
+		if err != nil {
+			fatal(err)
+		}
+		pool = append(pool, b)
+	}
+	p, err := gate.NewPool(pool, gate.Config{
+		DefaultTenant:  *defTenant,
+		ProbeInterval:  *probeEvery,
+		ProbeTimeout:   *probeTO,
+		RequestTimeout: *timeout,
+		MaxBodyBytes:   *maxBody,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go p.Start(ctx)
+
+	srv := &http.Server{Addr: *addr, Handler: p.Handler()}
+	go func() {
+		<-ctx.Done()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+	}()
+
+	fmt.Fprintf(os.Stderr, "freshgate %s: routing %d backends on %s\n",
+		version.String(), len(pool), *addr)
+	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fatal(err)
+	}
+	fmt.Fprintln(os.Stderr, "freshgate: drained, bye")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "freshgate:", err)
+	os.Exit(1)
+}

@@ -64,6 +64,11 @@ type ServingSummary struct {
 	Workload map[string]string `json:"workload,omitempty"`
 	// Endpoints summarizes each driven route.
 	Endpoints []EndpointStats `json:"endpoints"`
+	// Tenants summarizes the load per tenant when the target hosts named
+	// worlds (multi-tenant freshd or a freshgate pool). Absent on
+	// single-tenant runs; the compare gate ignores it either way (it diffs
+	// Benchmarks only), so reports with and without it are comparable.
+	Tenants []TenantStats `json:"tenants,omitempty"`
 	// TotalRequests and AllocsPerRequest are whole-run aggregates;
 	// AllocsPerRequest is derived from the server's proc.mallocs gauge
 	// (internal/obs runtime capture) diffed across the run.
@@ -84,6 +89,19 @@ type EndpointStats struct {
 	ErrorRate float64 `json:"error_rate"`
 	Rate429   float64 `json:"rate_429"`
 	Rate504   float64 `json:"rate_504"`
+}
+
+// TenantStats is the outcome of one tenant's slice of a multi-tenant load:
+// request volume, client-observed tail latency and error fraction.
+type TenantStats struct {
+	Tenant   string  `json:"tenant"`
+	Requests int64   `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+	// ErrorRate counts transport failures and 4xx/5xx other than 429/504,
+	// as a fraction of Requests.
+	ErrorRate float64 `json:"error_rate"`
 }
 
 // Regression is one benchmark that slowed past the tolerance.

@@ -1,0 +1,272 @@
+// Package gate is the freshgate routing tier: it fronts a pool of freshd
+// backends and routes every request to a backend chosen by rendezvous
+// (highest-random-weight) hashing over the request's tenant.
+//
+// Rendezvous hashing gives the two properties a sharded serving tier needs
+// with no coordination state at all: every gate instance computes the same
+// tenant→backend assignment from nothing but the backend list (so gates
+// scale horizontally without a shared map), and removing a backend only
+// moves the tenants that were on it (every other tenant keeps its warm
+// model caches). The hash ranks *all* backends per tenant, so failover is
+// simply "next candidate in rank order" — deterministic, and the tenant
+// returns to its home backend as soon as it probes healthy again.
+//
+// Backends are either remote (a freshd base URL, proxied over HTTP) or
+// local (an in-process http.Handler — the single-binary shard-map mode).
+// Both run behind the same http.RoundTripper seam, so routing, health
+// probing and failover are identical in either mode.
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"freshsource/internal/obs"
+)
+
+// Backend is one member of the routing pool: a stable name (its hashing
+// identity), a transport to reach it, and the latest probed health state.
+type Backend struct {
+	name string
+	base string // URL prefix for outbound requests ("" for local handlers)
+	rt   http.RoundTripper
+
+	healthy atomic.Bool
+	// probed holds the last successful /healthz body (decoded), for the
+	// gate's own health report; nil before the first successful probe.
+	probed atomic.Pointer[map[string]any]
+}
+
+// NewBackend declares a remote freshd backend at baseURL (scheme + host,
+// e.g. "http://10.0.0.7:8080"). The URL is its pool identity: hashing,
+// metrics and the gate health report all key on it.
+func NewBackend(baseURL string) (*Backend, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("gate: backend %q: need scheme://host", baseURL)
+	}
+	return &Backend{
+		name: baseURL,
+		base: strings.TrimRight(baseURL, "/"),
+		rt:   http.DefaultTransport,
+	}, nil
+}
+
+// NewLocalBackend declares an in-process backend: requests route straight
+// into h with no network hop. This is the shard-map mode for single-binary
+// deployments (and tests): several serve.Server instances behind one gate
+// handler in one process.
+func NewLocalBackend(name string, h http.Handler) *Backend {
+	return &Backend{name: name, rt: handlerTransport{h}}
+}
+
+// Name returns the backend's pool identity.
+func (b *Backend) Name() string { return b.name }
+
+// Healthy reports the backend's last probed health state.
+func (b *Backend) Healthy() bool { return b.healthy.Load() }
+
+// handlerTransport adapts an http.Handler into a RoundTripper: the request
+// is served into an in-memory recorder and its result returned as a
+// response. It keeps local backends on the exact code path remote ones use.
+type handlerTransport struct{ h http.Handler }
+
+func (t handlerTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	t.h.ServeHTTP(rec, r)
+	return rec.Result(), nil
+}
+
+// Config tunes a Pool. The zero value is serviceable.
+type Config struct {
+	// DefaultTenant is the tenant routed when a request carries no ?tenant=
+	// parameter; it must name the backends' default tenant so the hash has
+	// a stable key. Defaults to "default".
+	DefaultTenant string
+
+	// ProbeInterval is the health-check cadence per backend. Defaults to 1s.
+	ProbeInterval time.Duration
+
+	// ProbeTimeout bounds one /healthz probe. Defaults to 2s.
+	ProbeTimeout time.Duration
+
+	// RequestTimeout bounds one proxied request end to end (including
+	// failover retries). Defaults to 60s — above freshd's own request
+	// timeout, so the backend's 504 wins over the gate's.
+	RequestTimeout time.Duration
+
+	// MaxBodyBytes caps a request body buffered for failover replay.
+	// Defaults to 1 MiB (freshd's own cap).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.DefaultTenant == "" {
+		c.DefaultTenant = "default"
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 2 * time.Second
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 60 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Pool is a health-checked backend set with rendezvous routing.
+type Pool struct {
+	cfg      Config
+	backends []*Backend
+	mux      *http.ServeMux
+}
+
+// NewPool builds a pool over backends. Backends start healthy (optimistic:
+// the first failed probe or proxy error marks them down; starting
+// pessimistic would black-hole every tenant until the first probe sweep).
+func NewPool(backends []*Backend, cfg Config) (*Pool, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("gate: empty backend pool")
+	}
+	seen := make(map[string]bool, len(backends))
+	for _, b := range backends {
+		if seen[b.name] {
+			return nil, fmt.Errorf("gate: duplicate backend %q", b.name)
+		}
+		seen[b.name] = true
+		b.healthy.Store(true)
+	}
+	obs.Enable()
+	p := &Pool{cfg: cfg.withDefaults(), backends: backends}
+	p.mux = http.NewServeMux()
+	p.mux.Handle("/v1/", obs.Instrument("gate.proxy", http.HandlerFunc(p.handleProxy)))
+	p.mux.Handle("/healthz", obs.Instrument("gate.healthz", http.HandlerFunc(p.handleHealthz)))
+	p.mux.Handle("/metrics", obs.Instrument("gate.metrics", http.HandlerFunc(p.handleMetrics)))
+	return p, nil
+}
+
+// Handler returns the gate's HTTP surface: /v1/* proxied by tenant,
+// /healthz the gate's own pool report, /metrics the gate.* exposition.
+func (p *Pool) Handler() http.Handler { return p.mux }
+
+// Backends returns the pool members (for diagnostics and tests).
+func (p *Pool) Backends() []*Backend { return append([]*Backend(nil), p.backends...) }
+
+// score is the rendezvous weight of (tenant, backend): a 64-bit FNV-1a hash
+// over both identities. Every gate instance computes identical scores, so
+// identical routing, from the backend list alone.
+func score(tenant, backend string) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, tenant)
+	h.Write([]byte{0})
+	io.WriteString(h, backend)
+	return h.Sum64()
+}
+
+// Rank returns all backends in rendezvous order for tenant: the first entry
+// is the tenant's home backend, the rest are its failover chain. Ties (a
+// 64-bit hash collision) break on name so the order stays total and
+// deterministic.
+func (p *Pool) Rank(tenant string) []*Backend {
+	ranked := append([]*Backend(nil), p.backends...)
+	sort.Slice(ranked, func(i, j int) bool {
+		si, sj := score(tenant, ranked[i].name), score(tenant, ranked[j].name)
+		if si != sj {
+			return si > sj
+		}
+		return ranked[i].name < ranked[j].name
+	})
+	return ranked
+}
+
+// Start runs the health-probe loop until ctx is canceled: every
+// ProbeInterval each backend's /healthz is fetched; a 200 (ok or degraded —
+// a degraded backend still serves) marks it healthy, anything else marks it
+// down. Probes run immediately on start so a dead backend is discovered
+// within one sweep, not one interval.
+func (p *Pool) Start(ctx context.Context) {
+	p.probeAll(ctx)
+	tick := time.NewTicker(p.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			p.probeAll(ctx)
+		}
+	}
+}
+
+func (p *Pool) probeAll(ctx context.Context) {
+	for _, b := range p.backends {
+		p.probe(ctx, b)
+	}
+}
+
+func (p *Pool) probe(ctx context.Context, b *Backend) {
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base+"/healthz", nil)
+	if err != nil {
+		p.setHealth(b, false)
+		return
+	}
+	resp, err := b.rt.RoundTrip(req)
+	if err != nil {
+		p.setHealth(b, false)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		p.setHealth(b, false)
+		return
+	}
+	var body map[string]any
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err != nil {
+		p.setHealth(b, false)
+		return
+	}
+	b.probed.Store(&body)
+	p.setHealth(b, true)
+}
+
+func (p *Pool) setHealth(b *Backend, up bool) {
+	was := b.healthy.Swap(up)
+	v := 0.0
+	if up {
+		v = 1.0
+	}
+	obs.Gauge("gate.backend." + sanitize(b.name) + ".healthy").Set(v)
+	if was && !up {
+		obs.Counter("gate.backend_down").Inc()
+	}
+}
+
+// sanitize maps a backend name onto the obs metric charset.
+func sanitize(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, name)
+}

@@ -1,0 +1,83 @@
+package gate
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"freshsource/internal/dataset"
+	"freshsource/internal/serve"
+)
+
+// TestInProcessShardMap is the single-binary deployment mode end to end:
+// two real freshd serving stacks as local backends behind one gate handler.
+// A routed selection must be byte-identical to hitting the home backend
+// directly — the gate adds routing, never content.
+func TestInProcessShardMap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds two full serving stacks")
+	}
+	mk := func(seed int64) *serve.Server {
+		cfg := dataset.DefaultBLConfig()
+		cfg.Locations = 6
+		cfg.Categories = 4
+		cfg.NumSources = 8
+		cfg.Horizon = 200
+		cfg.T0 = 120
+		cfg.Scale = 0.35
+		cfg.Seed = seed
+		d, err := dataset.GenerateBL(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := serve.New(d, serve.Config{MaxInflight: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	s0, s1 := mk(1), mk(7)
+	defer s0.Close()
+	defer s1.Close()
+
+	p, err := NewPool([]*Backend{
+		NewLocalBackend("shard-0", s0.Handler()),
+		NewLocalBackend("shard-1", s1.Handler()),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	home := map[string]http.Handler{"shard-0": s0.Handler(), "shard-1": s1.Handler()}
+	direct := home[p.Rank("default")[0].Name()]
+
+	const body = `{"algorithm":"greedy","future":4}`
+	post := func(h http.Handler) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, "/v1/select", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+	want := post(direct)
+	if want.Code != http.StatusOK {
+		t.Fatalf("direct select: %d %s", want.Code, want.Body.String())
+	}
+	got := post(p.Handler())
+	if got.Code != http.StatusOK {
+		t.Fatalf("gated select: %d %s", got.Code, got.Body.String())
+	}
+	if got.Body.String() != want.Body.String() {
+		t.Error("gated selection differs from the home backend's bytes")
+	}
+
+	// The gate's health probe understands freshd's /healthz.
+	p.probeAll(context.Background())
+	for _, b := range p.Backends() {
+		if !b.Healthy() {
+			t.Errorf("backend %s unhealthy after probing a live freshd stack", b.Name())
+		}
+	}
+}

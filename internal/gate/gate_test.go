@@ -1,0 +1,305 @@
+package gate
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"freshsource/internal/obs"
+)
+
+// echoHandler answers every request with its own name, the path and the
+// tenant parameter — enough to verify routing decisions end to end.
+func echoHandler(name string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"status":"ok","dataset":"ds-%s","generation":1}`, name)
+			return
+		}
+		body, _ := io.ReadAll(r.Body)
+		fmt.Fprintf(w, "%s|%s|%s|%s", name, r.URL.Path, r.URL.Query().Get("tenant"), body)
+	})
+}
+
+func newLocalPool(t *testing.T, names ...string) *Pool {
+	t.Helper()
+	backends := make([]*Backend, len(names))
+	for i, n := range names {
+		backends[i] = NewLocalBackend(n, echoHandler(n))
+	}
+	p, err := NewPool(backends, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func get(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+	return rec
+}
+
+// TestRendezvousDeterministic: the rank order is a pure function of
+// (tenant, backend set) — stable across pools built in any order.
+func TestRendezvousDeterministic(t *testing.T) {
+	a := newLocalPool(t, "b0", "b1", "b2", "b3")
+	b := newLocalPool(t, "b3", "b1", "b0", "b2")
+	for i := 0; i < 50; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		ra, rb := a.Rank(tenant), b.Rank(tenant)
+		for k := range ra {
+			if ra[k].Name() != rb[k].Name() {
+				t.Fatalf("tenant %s: rank differs across pool construction order", tenant)
+			}
+		}
+	}
+}
+
+// TestRendezvousMinimalMovement: removing one backend only moves the
+// tenants that were homed on it; every other tenant keeps its backend.
+func TestRendezvousMinimalMovement(t *testing.T) {
+	full := newLocalPool(t, "b0", "b1", "b2", "b3")
+	reduced := newLocalPool(t, "b0", "b1", "b3") // b2 removed
+	moved, kept := 0, 0
+	for i := 0; i < 200; i++ {
+		tenant := fmt.Sprintf("tenant-%d", i)
+		home := full.Rank(tenant)[0].Name()
+		after := reduced.Rank(tenant)[0].Name()
+		if home == "b2" {
+			moved++
+			// Displaced tenants land on their second choice.
+			if want := full.Rank(tenant)[1].Name(); after != want {
+				t.Errorf("tenant %s: moved to %s, want next candidate %s", tenant, after, want)
+			}
+			continue
+		}
+		kept++
+		if after != home {
+			t.Errorf("tenant %s: moved %s -> %s though its backend survived", tenant, home, after)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRoutingByTenant: requests for a tenant land on its rendezvous home,
+// consistently, and the tenant parameter passes through untouched.
+func TestRoutingByTenant(t *testing.T) {
+	p := newLocalPool(t, "b0", "b1", "b2")
+	for i := 0; i < 20; i++ {
+		tenant := fmt.Sprintf("w%d", i)
+		home := p.Rank(tenant)[0].Name()
+		for rep := 0; rep < 3; rep++ {
+			rec := get(t, p.Handler(), "/v1/sources?tenant="+tenant)
+			if rec.Code != http.StatusOK {
+				t.Fatalf("route %s: %d", tenant, rec.Code)
+			}
+			want := fmt.Sprintf("%s|/v1/sources|%s|", home, tenant)
+			if rec.Body.String() != want {
+				t.Fatalf("route %s: got %q want %q", tenant, rec.Body.String(), want)
+			}
+		}
+	}
+	// No tenant parameter: routed by the default tenant key.
+	home := p.Rank("default")[0].Name()
+	rec := get(t, p.Handler(), "/v1/sources")
+	if want := home + "|/v1/sources||"; rec.Body.String() != want {
+		t.Errorf("default route: got %q want %q", rec.Body.String(), want)
+	}
+}
+
+// failingTransport always errors at the transport level (an unreachable
+// backend).
+type failingTransport struct{}
+
+func (failingTransport) RoundTrip(*http.Request) (*http.Response, error) {
+	return nil, errors.New("connection refused")
+}
+
+// TestFailover: a tenant whose home backend is unreachable is served by the
+// next rendezvous candidate; the dead backend is marked down and the
+// failover is counted.
+func TestFailover(t *testing.T) {
+	dead := NewLocalBackend("dead", nil)
+	dead.rt = failingTransport{}
+	live := NewLocalBackend("live", echoHandler("live"))
+	p, err := NewPool([]*Backend{dead, live}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a tenant homed on the dead backend.
+	tenant := ""
+	for i := 0; i < 64; i++ {
+		cand := fmt.Sprintf("w%d", i)
+		if p.Rank(cand)[0].Name() == "dead" {
+			tenant = cand
+			break
+		}
+	}
+	if tenant == "" {
+		t.Fatal("no tenant hashed onto the dead backend")
+	}
+
+	f0 := obs.Active().Counter("gate.failovers").Value()
+	rec := get(t, p.Handler(), "/v1/sources?tenant="+tenant)
+	if rec.Code != http.StatusOK || !strings.HasPrefix(rec.Body.String(), "live|") {
+		t.Fatalf("failover: %d %q", rec.Code, rec.Body.String())
+	}
+	if got := obs.Active().Counter("gate.failovers").Value() - f0; got != 1 {
+		t.Errorf("gate.failovers delta = %d, want 1", got)
+	}
+	if dead.Healthy() {
+		t.Error("dead backend still marked healthy after a transport failure")
+	}
+	// Subsequent requests skip the dead backend entirely: no more failovers.
+	f1 := obs.Active().Counter("gate.failovers").Value()
+	get(t, p.Handler(), "/v1/sources?tenant="+tenant)
+	if got := obs.Active().Counter("gate.failovers").Value() - f1; got != 0 {
+		t.Errorf("failovers after down-marking = %d, want 0", got)
+	}
+}
+
+// TestErrorStatusIsNotFailover: an HTTP error from a live backend is the
+// answer, not a reason to shop the pool.
+func TestErrorStatusIsNotFailover(t *testing.T) {
+	notFound := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "no such tenant", http.StatusNotFound)
+	})
+	p, err := NewPool([]*Backend{
+		NewLocalBackend("a", notFound),
+		NewLocalBackend("b", notFound),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f0 := obs.Active().Counter("gate.failovers").Value()
+	rec := get(t, p.Handler(), "/v1/sources?tenant=x")
+	if rec.Code != http.StatusNotFound {
+		t.Errorf("got %d, want the backend's 404", rec.Code)
+	}
+	if got := obs.Active().Counter("gate.failovers").Value() - f0; got != 0 {
+		t.Errorf("an HTTP error status caused %d failovers", got)
+	}
+}
+
+// TestNoHealthyBackend: with the whole pool down the gate answers 503 and
+// counts it.
+func TestNoHealthyBackend(t *testing.T) {
+	p := newLocalPool(t, "a", "b")
+	for _, b := range p.backends {
+		b.healthy.Store(false)
+	}
+	n0 := obs.Active().Counter("gate.no_backend").Value()
+	rec := get(t, p.Handler(), "/v1/sources?tenant=x")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("got %d, want 503", rec.Code)
+	}
+	if got := obs.Active().Counter("gate.no_backend").Value() - n0; got != 1 {
+		t.Errorf("gate.no_backend delta = %d, want 1", got)
+	}
+}
+
+// TestHealthProbe: a probe sweep marks a 500-ing backend down and a
+// recovered one back up, and the gate /healthz reflects the pool state.
+func TestHealthProbe(t *testing.T) {
+	healthy := true
+	flaky := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" || !healthy {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"status":"ok","dataset":"ds","generation":3,"tenants":{"default":{"generation":3}}}`)
+	})
+	p, err := NewPool([]*Backend{
+		NewLocalBackend("flaky", flaky),
+		NewLocalBackend("steady", echoHandler("steady")),
+	}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p.probeAll(context.Background())
+	var hz struct {
+		Status   string                    `json:"status"`
+		Backends map[string]map[string]any `json:"backends"`
+	}
+	rec := get(t, p.Handler(), "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Backends["flaky"]["generation"] != float64(3) {
+		t.Errorf("healthz after clean sweep: %+v", hz)
+	}
+
+	healthy = false
+	p.probeAll(context.Background())
+	rec = get(t, p.Handler(), "/healthz")
+	if err := json.Unmarshal(rec.Body.Bytes(), &hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "degraded" || hz.Backends["flaky"]["healthy"] != false {
+		t.Errorf("healthz with flaky down: %+v", hz)
+	}
+
+	healthy = true
+	p.probeAll(context.Background())
+	if !p.backends[0].Healthy() {
+		t.Error("recovered backend not marked back up")
+	}
+}
+
+// TestRemoteBackendProxy exercises the remote (HTTP) transport path against
+// a real listener, including body forwarding.
+func TestRemoteBackendProxy(t *testing.T) {
+	srv := httptest.NewServer(echoHandler("remote"))
+	defer srv.Close()
+	b, err := NewBackend(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPool([]*Backend{b}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/v1/select?tenant=q", strings.NewReader(`{"x":1}`))
+	rec := httptest.NewRecorder()
+	p.Handler().ServeHTTP(rec, req)
+	if want := `remote|/v1/select|q|{"x":1}`; rec.Body.String() != want {
+		t.Errorf("remote proxy: got %q want %q", rec.Body.String(), want)
+	}
+
+	p.probeAll(context.Background())
+	if !b.Healthy() {
+		t.Error("remote backend unhealthy after a good probe")
+	}
+}
+
+// TestBackendValidation: malformed URLs and duplicate names are rejected.
+func TestBackendValidation(t *testing.T) {
+	if _, err := NewBackend("not a url"); err == nil {
+		t.Error("malformed backend URL accepted")
+	}
+	if _, err := NewBackend("/just/a/path"); err == nil {
+		t.Error("scheme-less backend URL accepted")
+	}
+	if _, err := NewPool(nil, Config{}); err == nil {
+		t.Error("empty pool accepted")
+	}
+	_, err := NewPool([]*Backend{
+		NewLocalBackend("x", nil), NewLocalBackend("x", nil),
+	}, Config{})
+	if err == nil {
+		t.Error("duplicate backend name accepted")
+	}
+}

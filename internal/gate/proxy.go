@@ -1,0 +1,167 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"freshsource/internal/obs"
+)
+
+// handleProxy routes one request: rank the pool for the request's tenant,
+// then walk the rank order until a backend answers. A transport failure
+// marks the backend down (the probe loop brings it back) and fails over to
+// the next candidate with the same buffered body; an HTTP-level error
+// status from a live backend is NOT a failover — it is the answer (a 404
+// for an unknown tenant or a 429 from a saturated backend must reach the
+// client, not shop around the pool).
+func (p *Pool) handleProxy(w http.ResponseWriter, r *http.Request) {
+	tenant := r.URL.Query().Get("tenant")
+	key := tenant
+	if key == "" {
+		key = p.cfg.DefaultTenant
+	}
+	obs.Counter("gate.requests").Inc()
+
+	var body []byte
+	if r.Body != nil {
+		var err error
+		body, err = io.ReadAll(http.MaxBytesReader(w, r.Body, p.cfg.MaxBodyBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				gateErr(w, http.StatusRequestEntityTooLarge,
+					"request body exceeds %d bytes", tooBig.Limit)
+				return
+			}
+			gateErr(w, http.StatusBadRequest, "reading request body: %v", err)
+			return
+		}
+	}
+
+	ctx, cancel := contextWithTimeout(r, p.cfg.RequestTimeout)
+	defer cancel()
+
+	tried := 0
+	for _, b := range p.Rank(key) {
+		if !b.healthy.Load() {
+			continue
+		}
+		if tried > 0 {
+			obs.Counter("gate.failovers").Inc()
+		}
+		tried++
+
+		req, err := http.NewRequestWithContext(ctx, r.Method, b.base+r.URL.RequestURI(), bytes.NewReader(body))
+		if err != nil {
+			gateErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if ct := r.Header.Get("Content-Type"); ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		resp, err := b.rt.RoundTrip(req)
+		if err != nil {
+			// Transport-level failure: the backend is unreachable. Mark it
+			// down immediately (don't wait for the next probe sweep) and let
+			// the next rendezvous candidate serve this tenant.
+			p.setHealth(b, false)
+			obs.Counter("gate.proxy_errors").Inc()
+			if ctx.Err() != nil {
+				gateErr(w, http.StatusGatewayTimeout, "gate deadline exceeded: %v", ctx.Err())
+				return
+			}
+			continue
+		}
+		obs.Counter("gate.backend." + sanitize(b.name) + ".requests").Inc()
+		copyResponse(w, resp)
+		return
+	}
+	obs.Counter("gate.no_backend").Inc()
+	gateErr(w, http.StatusServiceUnavailable, "no healthy backend for tenant %q", key)
+}
+
+// contextWithTimeout bounds the whole proxy attempt chain by d on top of
+// the inbound request's own context.
+func contextWithTimeout(r *http.Request, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(r.Context(), d)
+}
+
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+func gateErr(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// handleHealthz reports the gate's own pool view: per-backend health plus
+// the identity metadata (generation, dataset, tenant set) from each
+// backend's last successful probe. Status is "ok" with every backend up,
+// "degraded" with some down, "down" with none.
+func (p *Pool) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	up := 0
+	backends := make(map[string]any, len(p.backends))
+	for _, b := range p.backends {
+		entry := map[string]any{"healthy": b.healthy.Load()}
+		if b.healthy.Load() {
+			up++
+		}
+		if probed := b.probed.Load(); probed != nil {
+			for _, k := range []string{"dataset", "generation", "digest", "default_tenant", "tenants"} {
+				if v, ok := (*probed)[k]; ok {
+					entry[k] = v
+				}
+			}
+		}
+		backends[b.name] = entry
+	}
+	status := "ok"
+	switch {
+	case up == 0:
+		status = "down"
+	case up < len(p.backends):
+		status = "degraded"
+	}
+	code := http.StatusOK
+	if up == 0 {
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]any{
+		"status":   status,
+		"backends": backends,
+	})
+}
+
+// handleMetrics exposes the gate's obs registry (gate.* plus the shared
+// process gauges), Prometheus text by default, ?format=json for the raw
+// snapshot — same contract as freshd's /metrics.
+func (p *Pool) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := obs.Active()
+	obs.CaptureRuntime(reg)
+	snap := reg.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		snap.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	snap.WritePrometheus(w)
+}

@@ -22,13 +22,21 @@ func NewGate(n int) *Gate {
 }
 
 // TryAcquire claims a slot without blocking; false means saturated.
+//
+// The inflight gauge is published as a transactional ±1 delta (GaugeVar.Add
+// is a CAS loop), not a Set of the counter's post-Add value: under
+// concurrent acquire/release interleavings the Set calls are not ordered
+// the way the Adds were, so a last-writer-wins Set can persist a stale
+// count — including a nonzero one after every request has drained. With
+// deltas the gauge is exactly the number of held slots at every quiescent
+// point (pinned by TestInflightGaugeExactUnderChurn).
 func (g *Gate) TryAcquire() bool {
 	select {
 	case g.sem <- struct{}{}:
-		n := g.inflight.Add(1)
+		g.inflight.Add(1)
 		if obs.Enabled() {
 			obs.Counter("serve.admission.admitted").Inc()
-			obs.Gauge("serve.admission.inflight").Set(float64(n))
+			obs.Gauge("serve.admission.inflight").Add(1)
 		}
 		return true
 	default:
@@ -39,9 +47,9 @@ func (g *Gate) TryAcquire() bool {
 
 // Release returns a slot claimed by TryAcquire.
 func (g *Gate) Release() {
-	n := g.inflight.Add(-1)
+	g.inflight.Add(-1)
 	if obs.Enabled() {
-		obs.Gauge("serve.admission.inflight").Set(float64(n))
+		obs.Gauge("serve.admission.inflight").Add(-1)
 	}
 	<-g.sem
 }

@@ -1,0 +1,69 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"freshsource/internal/obs"
+)
+
+// TestInflightGaugeExactUnderChurn pins the admission-gauge fix: under
+// concurrent acquire/release churn the serve.admission.inflight gauge must
+// read exactly zero once every slot is released. The old implementation
+// published the gauge with Set(post-Add value); because the Set calls are
+// not ordered the way the atomic Adds were, a slow goroutine's stale Set
+// could land last and persist a nonzero inflight count forever. The
+// delta-based gauge (GaugeVar.Add) cannot drift: every acquire adds exactly
+// +1 and every release exactly −1, in any interleaving.
+func TestInflightGaugeExactUnderChurn(t *testing.T) {
+	obs.Enable()
+	gauge := obs.Gauge("serve.admission.inflight")
+	start := gauge.Value()
+
+	g := NewGate(8)
+	const workers, iters = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if g.TryAcquire() {
+					g.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := g.Inflight(); got != 0 {
+		t.Fatalf("Inflight() = %d after churn, want 0", got)
+	}
+	if got := gauge.Value() - start; got != 0 {
+		t.Fatalf("inflight gauge drifted to %+g after all slots released, want 0", got)
+	}
+}
+
+// TestInflightGaugeTracksHeldSlots checks the quiescent-point value while
+// slots are actually held, not just at drain.
+func TestInflightGaugeTracksHeldSlots(t *testing.T) {
+	obs.Enable()
+	gauge := obs.Gauge("serve.admission.inflight")
+	start := gauge.Value()
+
+	g := NewGate(4)
+	for i := 0; i < 3; i++ {
+		if !g.TryAcquire() {
+			t.Fatalf("acquire %d refused below capacity", i)
+		}
+	}
+	if got := gauge.Value() - start; got != 3 {
+		t.Fatalf("gauge = %+g with 3 slots held, want 3", got)
+	}
+	for i := 0; i < 3; i++ {
+		g.Release()
+	}
+	if got := gauge.Value() - start; got != 0 {
+		t.Fatalf("gauge = %+g after release, want 0", got)
+	}
+}

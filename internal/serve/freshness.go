@@ -113,7 +113,11 @@ func (s *Server) handleFreshness(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	gen := s.current()
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	gen := t.current()
 	d := gen.d
 
 	at := d.T0

@@ -38,8 +38,9 @@ type SelectRequest struct {
 
 // SelectResponse is the body of POST /v1/select. It carries no timing or
 // cache-state fields on purpose: the same request must produce the same
-// bytes whether it was computed or replayed from the warm registry (warm
-// hit rates are visible on /metrics instead).
+// bytes whether it was computed, replayed from the warm registry, or
+// answered from a coalesced flight (warm hit rates are visible on /metrics
+// instead).
 type SelectResponse struct {
 	Algorithm   string   `json:"algorithm"`
 	Set         []int    `json:"set"`
@@ -92,6 +93,7 @@ type SourceInfo struct {
 // SourcesResponse is the body of GET /v1/sources.
 type SourcesResponse struct {
 	Dataset     string       `json:"dataset"`
+	Tenant      string       `json:"tenant"`
 	T0          int64        `json:"t0"`
 	Horizon     int64        `json:"horizon"`
 	NumEntities int          `json:"num_entities"`
@@ -117,8 +119,20 @@ func writeBody(w http.ResponseWriter, code int, body []byte) {
 	w.Write(body)
 }
 
+// errorBody marshals the error envelope writeErr writes, as (code, bytes),
+// for paths that publish through a coalesced flight instead of writing
+// directly.
+func errorBody(code int, format string, args ...any) (int, []byte) {
+	body, err := json.Marshal(errorResponse{Error: fmt.Sprintf(format, args...)})
+	if err != nil {
+		return http.StatusInternalServerError, []byte(`{"error":"encoding failed"}` + "\n")
+	}
+	return code, append(body, '\n')
+}
+
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+	code, body := errorBody(code, format, args...)
+	writeBody(w, code, body)
 }
 
 // decodeBody strictly decodes a JSON request body (unknown fields are a 400:
@@ -210,6 +224,14 @@ func canceled(err error) bool {
 		errors.Is(err, context.Canceled)
 }
 
+// flightKey scopes a canonical request key to a serving generation, so a
+// coalesced flight can never hand out bytes computed over a snapshot the
+// follower did not resolve: a reload or epoch publish changes the id, and
+// requests on either side of the swap coalesce separately.
+func flightKey(gen *generation, key string) string {
+	return fmt.Sprintf("%d|%s", gen.id, key)
+}
+
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
@@ -221,9 +243,13 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	req = req.withDefaults(s.cfg.DefaultFuture)
 
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
 	// One consistent generation per request: a concurrent hot reload must
 	// not change the snapshot or registry under our feet mid-handler.
-	gen := s.current()
+	gen := t.current()
 
 	switch core.Algorithm(req.Algorithm) {
 	case core.Greedy, core.MaxSub, core.GRASP, core.LazyGreedy, core.Budgeted:
@@ -249,36 +275,52 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	req.Ticks = make([]int64, len(ticks))
-	for i, t := range ticks {
-		req.Ticks[i] = int64(t)
+	for i, tk := range ticks {
+		req.Ticks[i] = int64(tk)
 	}
 	req.Future = 0 // folded into Ticks; keep the cache identity canonical
 
-	key, err := json.Marshal(req)
+	rawKey, err := json.Marshal(req)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	if body, ok := gen.reg.CachedResult(string(key)); ok {
+	key := "s|" + string(rawKey)
+	if body, ok := gen.reg.CachedResult(key); ok {
 		writeBody(w, http.StatusOK, body)
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	code, body, err := t.coSelect.Do(r.Context(), flightKey(gen, key), func() (int, []byte) {
+		return s.computeSelect(gen, req, ticks, key)
+	})
+	if err != nil {
+		obs.Counter("serve.timeouts").Inc()
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded while coalesced: %v", err)
+		return
+	}
+	writeBody(w, code, body)
+}
+
+// computeSelect runs one solver pass and caches the marshaled response. It
+// runs under a detached context (the server's lifetime bounded by the
+// request timeout) rather than the leader's request context: a coalesced
+// flight answers every follower, so one client's disconnect must not poison
+// the shared pass — the same rule as the registry's detached fits.
+func (s *Server) computeSelect(gen *generation, req SelectRequest, ticks []timeline.Tick, key string) (int, []byte) {
+	ctx, cancel := context.WithTimeout(s.life, s.cfg.RequestTimeout)
 	defer cancel()
 
 	prob, err := gen.reg.Problem(ctx, req.Divisors, req.Gain, req.Metric, req.Budget, ticks)
 	if err != nil {
-		s.solveError(w, err)
-		return
+		return solveErrorBody(err)
 	}
 	sel, err := prob.SolveContext(ctx, core.Algorithm(req.Algorithm), core.SolveOptions{
 		Kappa: req.Kappa, Rounds: req.Rounds, Seed: req.Seed,
 		Workers: req.Workers, Cache: req.Cache, Lazy: req.Lazy,
 	})
 	if err != nil {
-		s.solveError(w, err)
-		return
+		return solveErrorBody(err)
 	}
 
 	resp := SelectResponse{
@@ -295,21 +337,25 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
+		return errorBody(http.StatusInternalServerError, "%v", err)
 	}
 	body = append(body, '\n')
-	gen.reg.PutResult(string(key), body)
-	writeBody(w, http.StatusOK, body)
+	gen.reg.PutResult(key, body)
+	return http.StatusOK, body
+}
+
+// solveErrorBody maps a solver/fit error onto its response bytes.
+func solveErrorBody(err error) (int, []byte) {
+	if canceled(err) {
+		obs.Counter("serve.timeouts").Inc()
+		return errorBody(http.StatusGatewayTimeout, "request deadline exceeded; run canceled: %v", err)
+	}
+	return errorBody(http.StatusInternalServerError, "%v", err)
 }
 
 func (s *Server) solveError(w http.ResponseWriter, err error) {
-	if canceled(err) {
-		obs.Counter("serve.timeouts").Inc()
-		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded; run canceled: %v", err)
-		return
-	}
-	writeErr(w, http.StatusInternalServerError, "%v", err)
+	code, body := solveErrorBody(err)
+	writeBody(w, code, body)
 }
 
 func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
@@ -321,7 +367,11 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 	if !s.decodeBody(w, r, &req) {
 		return
 	}
-	gen := s.current()
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	gen := t.current()
 	if err := validDivisors(req.Divisors); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
@@ -331,25 +381,52 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	req.Ticks = make([]int64, len(ticks))
+	for i, tk := range ticks {
+		req.Ticks[i] = int64(tk)
+	}
+	req.Future = 0 // canonical identity, like select
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	rawKey, err := json.Marshal(req)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	key := "q|" + string(rawKey)
+	if body, ok := gen.reg.CachedResult(key); ok {
+		writeBody(w, http.StatusOK, body)
+		return
+	}
+
+	code, body, err := t.coQuality.Do(r.Context(), flightKey(gen, key), func() (int, []byte) {
+		return s.computeQuality(gen, req, ticks, key)
+	})
+	if err != nil {
+		obs.Counter("serve.timeouts").Inc()
+		writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded while coalesced: %v", err)
+		return
+	}
+	writeBody(w, code, body)
+}
+
+// computeQuality evaluates one explicit candidate set and caches the
+// marshaled response; detached-context rules as computeSelect.
+func (s *Server) computeQuality(gen *generation, req QualityRequest, ticks []timeline.Tick, key string) (int, []byte) {
+	ctx, cancel := context.WithTimeout(s.life, s.cfg.RequestTimeout)
 	defer cancel()
 
 	tr, err := gen.reg.Trained(ctx, req.Divisors)
 	if err != nil {
-		s.solveError(w, err)
-		return
+		return solveErrorBody(err)
 	}
 	for _, i := range req.Set {
 		if i < 0 || i >= tr.NumCandidates() {
-			writeErr(w, http.StatusBadRequest, "candidate %d outside [0, %d)", i, tr.NumCandidates())
-			return
+			return errorBody(http.StatusBadRequest, "candidate %d outside [0, %d)", i, tr.NumCandidates())
 		}
 	}
 	st, tr, err := gen.reg.State(ctx, req.Divisors, req.Set)
 	if err != nil {
-		s.solveError(w, err)
-		return
+		return solveErrorBody(err)
 	}
 	qs := tr.Est.QualityMultiState(st, ticks)
 
@@ -376,7 +453,13 @@ func (s *Server) handleQuality(w http.ResponseWriter, r *http.Request) {
 		resp.AvgCoverage /= float64(len(qs))
 		resp.AvgAccuracy /= float64(len(qs))
 	}
-	writeJSON(w, http.StatusOK, resp)
+	body, err := json.Marshal(resp)
+	if err != nil {
+		return errorBody(http.StatusInternalServerError, "%v", err)
+	}
+	body = append(body, '\n')
+	gen.reg.PutResult(key, body)
+	return http.StatusOK, body
 }
 
 func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
@@ -384,9 +467,14 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	d := s.current().d
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	d := t.current().d
 	resp := SourcesResponse{
 		Dataset:     d.Name,
+		Tenant:      t.name,
 		T0:          int64(d.T0),
 		Horizon:     int64(d.Horizon()),
 		NumEntities: d.World.NumEntities(),
@@ -399,37 +487,66 @@ func (s *Server) handleSources(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// handleHealthz reports liveness plus the build identity and the serving
-// generation: its id (bumped by every successful reload swap) and snapshot
-// digest, so an operator can tell from the outside which build is serving
-// and whether a rolled snapshot actually took effect.
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	gen := s.current()
-	resp := map[string]any{
-		"status":         "ok",
-		"dataset":        gen.d.Name,
-		"generation":     gen.id,
-		"digest":         hex.EncodeToString(gen.digest[:]),
-		"version":        version.Version,
-		"commit":         version.Commit,
-		"go":             runtime.Version(),
-		"uptime_seconds": time.Since(s.start).Seconds(),
+// tenantHealth is one tenant's block in the /healthz report.
+func tenantHealth(t *Tenant) (map[string]any, bool) {
+	gen := t.current()
+	block := map[string]any{
+		"dataset":    gen.d.Name,
+		"generation": gen.id,
+		"digest":     hex.EncodeToString(gen.digest[:]),
 	}
-	if s.ing != nil {
+	degraded := false
+	if t.ing != nil {
 		ing := map[string]any{
-			"epoch":     s.ing.Seq(),
-			"watermark": int64(s.ing.Watermark()),
-			"pending":   s.ing.Pending(),
+			"epoch":     t.ing.Seq(),
+			"watermark": int64(t.ing.Watermark()),
+			"pending":   t.ing.Pending(),
 		}
 		// A durable epoch the ingester could not fold (both the incremental
 		// fold and the rebuild failed) degrades the whole health report:
 		// serving continues on last-good, but the refit state lags the
 		// durable log until a later commit recovers.
-		if err := s.ing.Err(); err != nil {
+		if err := t.ing.Err(); err != nil {
 			ing["error"] = err.Error()
-			resp["status"] = "degraded"
+			degraded = true
 		}
+		block["ingest"] = ing
+	}
+	return block, degraded
+}
+
+// handleHealthz reports liveness plus the build identity and every
+// tenant's serving generation: its id (bumped by every successful reload
+// swap or epoch publish) and snapshot digest, so an operator can tell from
+// the outside which build is serving and whether a rolled snapshot
+// actually took effect — per tenant. The top-level dataset/generation/
+// digest/ingest fields mirror the default tenant for single-tenant
+// dashboards and the freshgate health probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	defBlock, degraded := tenantHealth(s.def)
+	resp := map[string]any{
+		"status":         "ok",
+		"dataset":        defBlock["dataset"],
+		"generation":     defBlock["generation"],
+		"digest":         defBlock["digest"],
+		"default_tenant": s.def.name,
+		"version":        version.Version,
+		"commit":         version.Commit,
+		"go":             runtime.Version(),
+		"uptime_seconds": time.Since(s.start).Seconds(),
+	}
+	if ing, ok := defBlock["ingest"]; ok {
 		resp["ingest"] = ing
+	}
+	tenants := make(map[string]any, len(s.names))
+	for _, name := range s.names {
+		block, deg := tenantHealth(s.tenants[name])
+		degraded = degraded || deg
+		tenants[name] = block
+	}
+	resp["tenants"] = tenants
+	if degraded {
+		resp["status"] = "degraded"
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

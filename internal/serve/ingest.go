@@ -58,10 +58,11 @@ var eventKinds = map[string]timeline.EventKind{
 	"disappear": timeline.Disappear,
 }
 
-// handleObserve buffers a batch of streamed observations. Backpressure
-// (the pending buffer at cfg.IngestMaxLag) is a 429 with Retry-After set
-// to the epoch interval; an observation at or behind the committed
-// watermark is a 409 (the epoch that covered its tick is already sealed).
+// handleObserve buffers a batch of streamed observations for one tenant.
+// Backpressure (the pending buffer at cfg.IngestMaxLag) is a 429 with
+// Retry-After set to the epoch interval; an observation at or behind the
+// committed watermark is a 409 (the epoch that covered its tick is already
+// sealed), as is a tenant without an ingestion pipeline.
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeErr(w, http.StatusMethodNotAllowed, "POST only")
@@ -69,6 +70,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ObserveRequest
 	if !s.decodeBody(w, r, &req) {
+		return
+	}
+	t := s.tenantFor(w, r)
+	if t == nil {
+		return
+	}
+	if t.ing == nil {
+		writeErr(w, http.StatusConflict, "%v for tenant %q", errNoIngest, t.name)
 		return
 	}
 	if len(req.Observations) == 0 {
@@ -92,7 +101,7 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 			},
 		}
 	}
-	if err := s.ing.Submit(batch); err != nil {
+	if err := t.ing.Submit(batch); err != nil {
 		var stale *ingest.StaleError
 		switch {
 		case errors.Is(err, ingest.ErrBackpressure):
@@ -109,18 +118,38 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	obs.Counter("serve.ingest.accepted").Add(int64(len(batch)))
-	obs.Gauge("serve.ingest.pending").Set(float64(s.ing.Pending()))
+	obs.Gauge(t.metric("ingest.pending")).Set(float64(t.ing.Pending()))
+	if t.def {
+		obs.Gauge("serve.ingest.pending").Set(float64(t.ing.Pending()))
+	}
 	writeJSON(w, http.StatusAccepted, ObserveResponse{
 		Accepted:  len(batch),
-		Pending:   s.ing.Pending(),
-		Watermark: int64(s.ing.Watermark()),
-		Epoch:     s.ing.Seq(),
+		Pending:   t.ing.Pending(),
+		Watermark: int64(t.ing.Watermark()),
+		Epoch:     t.ing.Seq(),
 	})
 }
 
-// CommitEpoch seals the pending observations into an epoch and publishes
-// the refit estimator as a new serving generation. With nothing pending
-// and nothing dirty it is a no-op returning (nil, nil).
+// CommitEpoch seals the default tenant's pending observations into an epoch
+// and publishes the refit estimator as a new serving generation (the
+// single-tenant surface; CommitTenantEpoch addresses a named world). With
+// nothing pending and nothing dirty it is a no-op returning (nil, nil).
+func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
+	return s.commitTenantEpoch(ctx, s.def)
+}
+
+// CommitTenantEpoch is CommitEpoch for a named tenant ("" addresses the
+// default).
+func (s *Server) CommitTenantEpoch(ctx context.Context, name string) (*EpochInfo, error) {
+	t, err := s.Tenant(name)
+	if err != nil {
+		return nil, err
+	}
+	return s.commitTenantEpoch(ctx, t)
+}
+
+// commitTenantEpoch seals one tenant's pending observations and publishes
+// the refit estimator as that tenant's next serving generation.
 //
 // The publish mirrors a hot reload's swap semantics: the new generation's
 // dataset carries the extended sources with the training cut advanced to
@@ -130,17 +159,18 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 // the epoch stays dirty — the ingester is Acked only after the generation
 // swap, so a publish that fails at any stage ("ingest.publish" fault seam,
 // dataset validation, model derivation) is retried by the next commit even
-// if no new observations arrive.
-func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
-	if s.ing == nil {
-		return nil, errors.New("serve: ingestion not enabled")
+// if no new observations arrive. Commits are serialized per tenant (under
+// the same lock as reloads); different tenants commit independently.
+func (s *Server) commitTenantEpoch(ctx context.Context, t *Tenant) (*EpochInfo, error) {
+	t.reloadMu.Lock()
+	defer t.reloadMu.Unlock()
+	if t.ing == nil {
+		return nil, fmt.Errorf("%w for tenant %q", errNoIngest, t.name)
 	}
 	sp := obs.Start("serve.ingest.commit.seconds")
 	defer sp.End()
 
-	ep, err := s.ing.Commit(ctx)
+	ep, err := t.ing.Commit(ctx)
 	if err != nil {
 		obs.Counter("serve.ingest.epoch_failures").Inc()
 		return nil, err
@@ -153,7 +183,7 @@ func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 		return nil, fmt.Errorf("serve: epoch %d publish: %w", ep.Seq, err)
 	}
 
-	cur := s.current()
+	cur := t.current()
 	nd := &dataset.Dataset{Name: cur.d.Name, World: cur.d.World, Sources: ep.Sources, T0: ep.Watermark}
 	if err := validateDataset(nd); err != nil {
 		obs.Counter("serve.ingest.epoch_failures").Inc()
@@ -171,19 +201,22 @@ func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 	g := &generation{
 		id:     cur.id + 1,
 		d:      nd,
-		reg:    NewRegistry(s.life, nd, maxEntries, s.cfg.FitWorkers, s.mc),
+		reg:    NewRegistry(s.life, nd, maxEntries, s.cfg.FitWorkers, t.mc),
 		digest: modelcache.Digest(nd.World, nd.Sources),
 	}
 	g.reg.SeedTrained(tr)
-	// The old registry is not closed on swap (same rule as Reload):
+	// The old registry is not closed on swap (same rule as reloadTenant):
 	// in-flight requests holding the old generation finish on its caches;
 	// s.life cancels any stray fits at shutdown.
-	s.install(g)
-	s.ing.Ack(ep.Seq)
+	t.install(g)
+	t.ing.Ack(ep.Seq)
 	obs.Counter("serve.ingest.epochs").Inc()
 	obs.Counter("serve.ingest.observations").Add(int64(ep.Observations))
-	obs.Gauge("serve.ingest.epoch").Set(float64(ep.Seq))
-	obs.Gauge("serve.ingest.watermark").Set(float64(ep.Watermark))
+	obs.Gauge(t.metric("ingest.epoch")).Set(float64(ep.Seq))
+	if t.def {
+		obs.Gauge("serve.ingest.epoch").Set(float64(ep.Seq))
+		obs.Gauge("serve.ingest.watermark").Set(float64(ep.Watermark))
+	}
 	return &EpochInfo{
 		Epoch:        ep.Seq,
 		Generation:   g.id,
@@ -193,10 +226,12 @@ func (s *Server) CommitEpoch(ctx context.Context) (*EpochInfo, error) {
 }
 
 // epochLoop is the ingest scheduler: every cfg.IngestEpoch it commits the
-// pending buffer, bounded per tick by cfg.ReloadTimeout (a commit refits a
-// full model set, so it is bounded like a reload, not like a request).
-// Commit errors are counted and retried on the next tick — observations
-// are never dropped by a failed refit.
+// pending buffer of every ingesting tenant, bounded per tenant per tick by
+// cfg.ReloadTimeout (a commit refits a full model set, so it is bounded
+// like a reload, not like a request). Commit errors are counted and retried
+// on the next tick — observations are never dropped by a failed refit, and
+// one tenant's failing refit never stalls another's commits past its slot
+// in the sweep.
 func (s *Server) epochLoop(ctx context.Context) {
 	tick := time.NewTicker(s.cfg.IngestEpoch)
 	defer tick.Stop()
@@ -206,11 +241,17 @@ func (s *Server) epochLoop(ctx context.Context) {
 			return
 		case <-tick.C:
 		}
-		cctx, cancel := context.WithTimeout(ctx, s.cfg.ReloadTimeout)
-		_, err := s.CommitEpoch(cctx)
-		cancel()
-		if err != nil && ctx.Err() == nil {
-			obs.Counter("serve.ingest.scheduler_errors").Inc()
+		for _, name := range s.names {
+			t := s.tenants[name]
+			if t.ing == nil {
+				continue
+			}
+			cctx, cancel := context.WithTimeout(ctx, s.cfg.ReloadTimeout)
+			_, err := s.commitTenantEpoch(cctx, t)
+			cancel()
+			if err != nil && ctx.Err() == nil {
+				obs.Counter("serve.ingest.scheduler_errors").Inc()
+			}
 		}
 	}
 }

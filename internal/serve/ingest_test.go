@@ -69,7 +69,7 @@ func TestObserveEndpoint(t *testing.T) {
 		})
 	}
 	// Rejected batches buffer nothing.
-	if got := srv.ing.Pending(); got != 2 {
+	if got := srv.Ingester().Pending(); got != 2 {
 		t.Fatalf("pending after rejections = %d", got)
 	}
 }
@@ -226,7 +226,7 @@ func TestChaosIngestTornLog(t *testing.T) {
 	if re.Generation() != 2 {
 		t.Fatalf("recovered generation = %d, want 2 (epoch republished)", re.Generation())
 	}
-	if got := re.ing.Watermark(); int64(got) != t0+3 {
+	if got := re.Ingester().Watermark(); int64(got) != t0+3 {
 		t.Fatalf("recovered watermark = %d, want %d", got, t0+3)
 	}
 	if int64(re.current().d.T0) != t0+3 {
@@ -274,10 +274,10 @@ func TestChaosIngestEpochReplay(t *testing.T) {
 		t.Fatalf("recovery over replayed log: %v", err)
 	}
 	defer srv.Close()
-	if got := srv.ing.Seq(); got != 2 {
+	if got := srv.Ingester().Seq(); got != 2 {
 		t.Fatalf("recovered seq = %d, want 2", got)
 	}
-	if got := srv.ing.Watermark(); got != t0+6 {
+	if got := srv.Ingester().Watermark(); got != t0+6 {
 		t.Fatalf("recovered watermark = %d, want %d", got, t0+6)
 	}
 	// One fold of the duplicated event: the recovered source log grew by
@@ -312,8 +312,8 @@ func TestChaosIngestRefitMidStream(t *testing.T) {
 	if _, err := srv.CommitEpoch(context.Background()); err == nil {
 		t.Fatal("want append fault")
 	}
-	if srv.Generation() != 1 || srv.ing.Pending() != 1 || srv.ing.Seq() != 0 {
-		t.Fatalf("failed append: gen=%d pending=%d seq=%d", srv.Generation(), srv.ing.Pending(), srv.ing.Seq())
+	if srv.Generation() != 1 || srv.Ingester().Pending() != 1 || srv.Ingester().Seq() != 0 {
+		t.Fatalf("failed append: gen=%d pending=%d seq=%d", srv.Generation(), srv.Ingester().Pending(), srv.Ingester().Seq())
 	}
 
 	faults.Set("ingest.refit", faults.Fault{Err: errors.New("refit oom"), Times: 1})
@@ -323,8 +323,8 @@ func TestChaosIngestRefitMidStream(t *testing.T) {
 	if srv.Generation() != 1 {
 		t.Fatalf("failed refit published generation %d", srv.Generation())
 	}
-	if srv.ing.Pending() != 0 || srv.ing.Seq() != 1 || !srv.ing.Dirty() {
-		t.Fatalf("failed refit: pending=%d seq=%d dirty=%v", srv.ing.Pending(), srv.ing.Seq(), srv.ing.Dirty())
+	if srv.Ingester().Pending() != 0 || srv.Ingester().Seq() != 1 || !srv.Ingester().Dirty() {
+		t.Fatalf("failed refit: pending=%d seq=%d dirty=%v", srv.Ingester().Pending(), srv.Ingester().Seq(), srv.Ingester().Dirty())
 	}
 	// Mid-stream failure leaves the old generation fully serviceable.
 	if rec := postJSON(t, srv.Handler(), "/v1/quality", `{"set":[0]}`); rec.Code != 200 {
@@ -363,8 +363,8 @@ func TestChaosIngestPublishFault(t *testing.T) {
 	if _, err := srv.CommitEpoch(context.Background()); err == nil {
 		t.Fatal("want publish fault")
 	}
-	if srv.Generation() != 1 || srv.ing.Seq() != 1 || !srv.ing.Dirty() {
-		t.Fatalf("failed publish: gen=%d seq=%d dirty=%v", srv.Generation(), srv.ing.Seq(), srv.ing.Dirty())
+	if srv.Generation() != 1 || srv.Ingester().Seq() != 1 || !srv.Ingester().Dirty() {
+		t.Fatalf("failed publish: gen=%d seq=%d dirty=%v", srv.Generation(), srv.Ingester().Seq(), srv.Ingester().Dirty())
 	}
 
 	// No new observations: the retry must still re-derive and publish the
@@ -376,7 +376,7 @@ func TestChaosIngestPublishFault(t *testing.T) {
 	if info == nil || info.Epoch != 1 || info.Generation != 2 || info.Watermark != t0+3 || info.Observations != 1 {
 		t.Fatalf("republish: %+v", info)
 	}
-	if srv.ing.Dirty() {
+	if srv.Ingester().Dirty() {
 		t.Fatal("published epoch still dirty after Ack")
 	}
 }
@@ -457,7 +457,7 @@ func TestIngestEpochScheduler(t *testing.T) {
 		}
 		time.Sleep(10 * time.Millisecond)
 	}
-	if got := srv.ing.Watermark(); got != d.T0+3 {
+	if got := srv.Ingester().Watermark(); got != d.T0+3 {
 		t.Errorf("scheduled commit watermark = %d", got)
 	}
 	cancel()

@@ -156,8 +156,10 @@ func TestWarmRegistryByteIdentical(t *testing.T) {
 	}
 }
 
-// TestQualityEndpoint checks /v1/quality against the estimator directly and
-// that the second call reuses the cached set state.
+// TestQualityEndpoint checks /v1/quality against the estimator directly,
+// that an identical repeat is answered byte-identically from the result
+// cache, and that an equivalent request with a different tick spelling still
+// reuses the cached set state.
 func TestQualityEndpoint(t *testing.T) {
 	d := testDataset(t)
 	srv := newServer(t, Config{})
@@ -188,8 +190,21 @@ func TestQualityEndpoint(t *testing.T) {
 		t.Fatal("fixture T0 moved; ticks in this test are stale")
 	}
 
+	// An identical repeat short-circuits at the marshaled-result cache —
+	// byte-identical, no estimator work at all.
+	rhits0 := counter("serve.registry.result_hits")
+	rec2 := postJSON(t, srv.Handler(), "/v1/quality", body)
+	if got := counter("serve.registry.result_hits") - rhits0; got != 1 {
+		t.Errorf("result_hits delta = %d, want 1", got)
+	}
+	if rec2.Body.String() != rec.Body.String() {
+		t.Error("cached quality response is not byte-identical")
+	}
+
+	// A different tick set over the same candidate set misses the result
+	// cache but reuses the memoized set state.
 	hits0 := counter("serve.registry.state_hits")
-	postJSON(t, srv.Handler(), "/v1/quality", body)
+	postJSON(t, srv.Handler(), "/v1/quality", `{"set":[0,2,5],"ticks":[160,210]}`)
 	if got := counter("serve.registry.state_hits") - hits0; got != 1 {
 		t.Errorf("state_hits delta = %d, want 1", got)
 	}

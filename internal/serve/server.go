@@ -7,21 +7,20 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"sync"
+	"sort"
 	"sync/atomic"
 	"time"
 
 	"freshsource/internal/dataset"
 	"freshsource/internal/ingest"
-	"freshsource/internal/modelcache"
 	"freshsource/internal/obs"
 )
 
-// generation is one immutable serving epoch: a snapshot, the warm registry
-// fitted over it, and identity metadata. Handlers load the current
-// generation once at request start, so a hot reload never changes the data
-// under an in-flight request — the old generation stays alive (and its
-// caches usable) until the last request holding it returns.
+// generation is one immutable serving epoch of one tenant: a snapshot, the
+// warm registry fitted over it, and identity metadata. Handlers load the
+// tenant's current generation once at request start, so a hot reload never
+// changes the data under an in-flight request — the old generation stays
+// alive (and its caches usable) until the last request holding it returns.
 type generation struct {
 	id     uint64
 	d      *dataset.Dataset
@@ -29,46 +28,47 @@ type generation struct {
 	digest [32]byte
 }
 
-// Server is a freshd instance: a hot-swappable (snapshot, registry)
-// generation, an admission gate and the HTTP surface.
+// Server is a freshd instance: a registry of named tenants — each a
+// hot-swappable (snapshot, registry) generation with its own ingestion
+// pipeline and coalescers — behind one admission gate and HTTP surface.
 //
-// Endpoints:
+// Endpoints (all tenant-addressable via ?tenant=name; the default tenant
+// answers when the parameter is absent, unknown names are a 404):
 //
-//	POST /v1/select   run a selection algorithm (gated, timed out, cached)
-//	POST /v1/quality  evaluate an explicit candidate set (gated, timed out)
-//	GET  /v1/sources  describe the loaded snapshot
-//	POST /v1/reload   stage, validate, fit and swap in a new snapshot
-//	POST /v1/observe  buffer streamed observations for the next ingest epoch
+//	POST /v1/select   run a selection algorithm (gated, timed out, cached, coalesced)
+//	POST /v1/quality  evaluate an explicit candidate set (gated, timed out, cached, coalesced)
+//	GET  /v1/sources  describe the tenant's loaded snapshot
+//	POST /v1/reload   stage, validate, fit and swap in a new snapshot for one tenant
+//	POST /v1/observe  buffer streamed observations for the tenant's next ingest epoch
 //	GET  /v1/freshness classify every source fresh/warning/stale
-//	GET  /healthz     liveness + build version + serving generation
+//	GET  /healthz     liveness + build version + per-tenant serving generations
 //	GET  /metrics     Prometheus text exposition (?format=json for the raw snapshot)
 type Server struct {
 	cfg  Config
-	mc   *modelcache.Cache
-	gen  atomic.Pointer[generation]
 	gate *Gate
 	mux  *http.ServeMux
 	addr atomic.Value // string; bound address once serving
 
-	// ing is the streaming-ingestion pipeline (nil unless cfg.IngestEpoch
-	// is set); commits publish new generations through CommitEpoch.
-	ing *ingest.Ingester
+	// tenants maps every hosted world by name; def is the one addressed
+	// when ?tenant= is absent. The map is immutable after New — per-tenant
+	// mutation happens behind each tenant's own atomic generation pointer.
+	tenants map[string]*Tenant
+	names   []string // sorted tenant names
+	def     *Tenant
 
 	// start anchors the uptime reported by /healthz.
 	start time.Time
 
-	// life scopes every registry's detached fits; stop cancels them all
-	// on shutdown.
+	// life scopes every registry's detached fits and every coalesced
+	// compute; stop cancels them all on shutdown.
 	life context.Context
 	stop context.CancelFunc
-
-	// reloadMu serializes reloads (SIGHUP and /v1/reload can race).
-	reloadMu sync.Mutex
 }
 
-// New builds a server over the snapshot and pre-fits the base models, so
-// the first request pays no training cost. Telemetry is enabled globally:
-// a daemon always wants /metrics live.
+// New builds a server hosting the default tenant over d plus every
+// cfg.Tenants entry, and pre-fits each tenant's base models so the first
+// request pays no training cost. Telemetry is enabled globally: a daemon
+// always wants /metrics live.
 func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	if err := validateDataset(d); err != nil {
 		return nil, err
@@ -76,52 +76,36 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	obs.Enable()
 
-	var mc *modelcache.Cache
-	if cfg.ModelCacheDir != "" {
-		var err error
-		if mc, err = modelcache.New(cfg.ModelCacheDir); err != nil {
-			return nil, fmt.Errorf("serve: model cache: %w", err)
-		}
-	}
 	life, stop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:   cfg,
-		mc:    mc,
-		gate:  NewGate(cfg.MaxInflight),
-		life:  life,
-		stop:  stop,
-		start: time.Now(),
+		cfg:     cfg,
+		gate:    NewGate(cfg.MaxInflight),
+		tenants: make(map[string]*Tenant),
+		life:    life,
+		stop:    stop,
+		start:   time.Now(),
 	}
-	gen, err := s.buildGeneration(context.Background(), 1, d)
-	if err != nil {
-		stop()
-		return nil, fmt.Errorf("serve: startup fit: %w", err)
-	}
-	s.install(gen)
-
-	if cfg.IngestEpoch > 0 {
-		if cfg.SnapshotDir != "" {
-			stop()
-			return nil, errors.New("serve: streaming ingestion and snapshot hot reload are mutually exclusive")
+	specs := append([]TenantSpec{{
+		Name:        cfg.DefaultTenant,
+		Dataset:     d,
+		SnapshotDir: cfg.SnapshotDir,
+		IngestDir:   cfg.IngestDir,
+	}}, cfg.Tenants...)
+	for i, spec := range specs {
+		if _, dup := s.tenants[spec.Name]; dup {
+			s.Close()
+			return nil, fmt.Errorf("serve: duplicate tenant name %q", spec.Name)
 		}
-		ing, err := ingest.New(context.Background(), d, ingest.Config{
-			Dir: cfg.IngestDir, MaxPending: cfg.IngestMaxLag, FitWorkers: cfg.FitWorkers,
-		})
+		t, err := s.newTenant(spec, i == 0)
 		if err != nil {
-			stop()
-			return nil, fmt.Errorf("serve: ingest: %w", err)
+			s.Close()
+			return nil, err
 		}
-		s.ing = ing
-		// Recovery replayed durable epochs: republish them before taking
-		// traffic, so the serving generation reflects every committed epoch.
-		if ing.Dirty() {
-			if _, err := s.CommitEpoch(context.Background()); err != nil {
-				stop()
-				ing.Close()
-				return nil, fmt.Errorf("serve: ingest recovery: %w", err)
-			}
-		}
+		s.tenants[t.name] = t
+		s.names = append(s.names, t.name)
 	}
+	sort.Strings(s.names)
+	s.def = s.tenants[cfg.DefaultTenant]
 
 	s.mux = http.NewServeMux()
 	s.mux.Handle("/v1/select", obs.Instrument("select", s.gated(http.HandlerFunc(s.handleSelect))))
@@ -129,7 +113,7 @@ func New(d *dataset.Dataset, cfg Config) (*Server, error) {
 	s.mux.Handle("/v1/sources", obs.Instrument("sources", http.HandlerFunc(s.handleSources)))
 	s.mux.Handle("/v1/reload", obs.Instrument("reload", http.HandlerFunc(s.handleReload)))
 	s.mux.Handle("/v1/freshness", obs.Instrument("freshness", http.HandlerFunc(s.handleFreshness)))
-	if s.ing != nil {
+	if cfg.IngestEpoch > 0 {
 		s.mux.Handle("/v1/observe", obs.Instrument("observe", http.HandlerFunc(s.handleObserve)))
 	}
 	s.mux.Handle("/healthz", obs.Instrument("healthz", http.HandlerFunc(s.handleHealthz)))
@@ -165,41 +149,20 @@ func defaultCacheEntries(sources int) int {
 	return n
 }
 
-// buildGeneration stages a complete generation over d: digest, registry,
-// and the pre-fit of the base models under ctx. On failure the candidate
-// registry is closed and nothing is published.
-func (s *Server) buildGeneration(ctx context.Context, id uint64, d *dataset.Dataset) (*generation, error) {
-	maxEntries := s.cfg.MaxCacheEntries
-	if maxEntries <= 0 {
-		maxEntries = defaultCacheEntries(len(d.Sources))
-	}
-	g := &generation{
-		id:     id,
-		d:      d,
-		reg:    NewRegistry(s.life, d, maxEntries, s.cfg.FitWorkers, s.mc),
-		digest: modelcache.Digest(d.World, d.Sources),
-	}
-	if _, err := g.reg.Trained(ctx, nil); err != nil {
-		g.reg.Close()
-		return nil, err
-	}
-	return g, nil
-}
+// current returns the default tenant's serving generation (the
+// single-tenant view; handlers resolve their tenant explicitly).
+func (s *Server) current() *generation { return s.def.current() }
 
-// install publishes a generation as current.
-func (s *Server) install(g *generation) {
-	s.gen.Store(g)
-	obs.Gauge("serve.reload.generation").Set(float64(g.id))
-}
+// install publishes a generation on the default tenant (test seam).
+func (s *Server) install(g *generation) { s.def.install(g) }
 
-// current returns the serving generation. Handlers call it exactly once
-// per request and thread the result, so each request sees one consistent
-// (snapshot, registry) pair across a concurrent swap.
-func (s *Server) current() *generation { return s.gen.Load() }
-
-// Generation returns the current serving generation id (1 at startup,
-// incremented by every successful reload swap).
+// Generation returns the default tenant's serving generation id (1 at
+// startup, incremented by every successful reload swap or epoch publish).
 func (s *Server) Generation() uint64 { return s.current().id }
+
+// Ingester exposes the default tenant's ingestion pipeline (nil unless the
+// server runs with Config.IngestEpoch > 0), for tests and diagnostics.
+func (s *Server) Ingester() *ingest.Ingester { return s.def.ing }
 
 // gated wraps a heavy endpoint behind the admission gate: saturation is an
 // immediate 429, never a queue. Retry-After is derived from the observed
@@ -244,18 +207,20 @@ func retryAfter() string {
 // Handler returns the HTTP surface (for httptest and embedding).
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Registry exposes the current generation's warm registry (for tests and
-// diagnostics).
+// Registry exposes the default tenant's current warm registry (for tests
+// and diagnostics).
 func (s *Server) Registry() *Registry { return s.current().reg }
 
 // Close retires the server's background work: fits in flight on every
-// live generation are canceled and the ingestion log (if any) is released.
-// Serve calls it after the drain; tests that never Serve may call it
-// directly.
+// tenant's live generations are canceled and each ingestion log (if any)
+// is released. Serve calls it after the drain; tests that never Serve may
+// call it directly.
 func (s *Server) Close() {
 	s.stop()
-	if s.ing != nil {
-		s.ing.Close()
+	for _, t := range s.tenants {
+		if t.ing != nil {
+			t.ing.Close()
+		}
 	}
 }
 
@@ -286,7 +251,7 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
-	if s.ing != nil {
+	if s.cfg.IngestEpoch > 0 {
 		go s.epochLoop(ctx)
 	}
 
